@@ -1,0 +1,129 @@
+// Command cheaptalk runs a single compiled cheap-talk session and prints
+// what happened: the theorem variant used, the agreed action profile, the
+// message/step counts, and optionally the first part of the scheduler's
+// message-pattern timeline.
+//
+// Usage:
+//
+//	cheaptalk -n 5 -k 1 -t 0 -variant 4.1 -seed 3 -timeline 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/core"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cheaptalk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cheaptalk", flag.ContinueOnError)
+	n := fs.Int("n", 5, "number of players")
+	k := fs.Int("k", 1, "rational coalition bound")
+	t := fs.Int("t", 0, "malicious player bound")
+	variant := fs.String("variant", "4.1", "theorem variant: 4.1, 4.2, 4.4, 4.5")
+	seed := fs.Int64("seed", 1, "run seed")
+	timeline := fs.Int("timeline", 0, "print the first N scheduler steps")
+	sched := fs.String("sched", "roundrobin", "scheduler: roundrobin, random, fifo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var v core.Variant
+	switch *variant {
+	case "4.1":
+		v = core.Exact41
+	case "4.2":
+		v = core.Epsilon42
+	case "4.4":
+		v = core.Punish44
+	case "4.5":
+		v = core.Punish45
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	kk := *k
+	if kk == 0 {
+		kk = 1
+	}
+	g, err := game.Section64Game(*n, kk)
+	if err != nil {
+		return err
+	}
+	circ, err := mediator.Section64Circuit(*n)
+	if err != nil {
+		return err
+	}
+	pun := make(game.Profile, *n)
+	for i := range pun {
+		pun[i] = game.Bottom
+	}
+	params := core.Params{
+		Game: g, Circuit: circ, K: *k, T: *t,
+		Variant: v, Approach: game.ApproachAH,
+		Punishment: pun, Epsilon: 0.1, CoinSeed: *seed,
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	var s async.Scheduler
+	switch *sched {
+	case "roundrobin":
+		s = &async.RoundRobinScheduler{}
+	case "random":
+		s = async.NewRandomScheduler(*seed)
+	case "fifo":
+		s = async.FIFOScheduler{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+
+	// Trace only when asked (it is O(messages) memory).
+	rec := &async.TraceRecorder{}
+	types := make([]game.Type, *n)
+	procs := make([]async.Process, *n)
+	for i := 0; i < *n; i++ {
+		pl, err := core.NewPlayer(params, i, types[i])
+		if err != nil {
+			return err
+		}
+		procs[i] = pl
+	}
+	cfg := async.Config{Procs: procs, Scheduler: s, Seed: *seed, MaxSteps: 50_000_000}
+	if *timeline > 0 {
+		cfg.Trace = rec.Record
+	}
+	rt, err := async.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return err
+	}
+	prof := mediator.ResolveMoves(g, types, res, params.Approach)
+
+	fmt.Printf("variant:    %v (bound n > %d, have n=%d)\n", v, v.Bound(*k, *t)-1, *n)
+	fmt.Printf("profile:    %v\n", prof)
+	fmt.Printf("utility:    %.3g\n", g.Utility(types, prof)[0])
+	fmt.Printf("deadlocked: %v\n", res.Deadlocked)
+	fmt.Printf("messages:   %d sent, %d delivered, %d steps\n",
+		res.Stats.MessagesSent, res.Stats.MessagesDelivered, res.Stats.Steps)
+	if *timeline > 0 {
+		fmt.Printf("\nscheduler timeline (first %d steps):\n%s", *timeline, rec.Timeline(*timeline))
+		fmt.Printf("max in-flight messages: %d\n", rec.MaxInFlight())
+	}
+	return nil
+}

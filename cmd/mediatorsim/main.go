@@ -1,0 +1,65 @@
+// Command mediatorsim regenerates the paper-reproduction experiment tables
+// (E1-E8 in DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mediatorsim -experiment all            # run everything
+//	mediatorsim -experiment e6 -trials 400 # just the Section 6.4 table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncmediator/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mediatorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mediatorsim", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "experiment to run: e1..e8 or all")
+	trials := fs.Int("trials", 0, "Monte-Carlo trials per estimate (0 = default)")
+	seed := fs.Int64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := sim.DefaultOptions()
+	if *trials > 0 {
+		o.Trials = *trials
+	}
+	o.Seed0 = *seed
+
+	type expFn struct {
+		name string
+		fn   func(sim.Options) (*sim.Table, error)
+	}
+	all := []expFn{
+		{"e1", sim.E1}, {"e2", sim.E2}, {"e3", sim.E3}, {"e4", sim.E4},
+		{"e5", sim.E5}, {"e6", sim.E6}, {"e7", sim.E7}, {"e8", sim.E8},
+	}
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		tab, err := e.fn(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want e1..e8 or all)", *exp)
+	}
+	return nil
+}

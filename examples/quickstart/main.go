@@ -1,0 +1,86 @@
+// Quickstart: implement a mediator with asynchronous cheap talk.
+//
+// Part 1 plays a *mediator game*: a trusted mediator samples a correlated
+// equilibrium of Chicken and privately recommends an action to each player.
+//
+// Part 2 removes the mediator: the n=5 players of the Section 6.4 lottery
+// game jointly evaluate the mediator's circuit with asynchronous cheap
+// talk (Theorem 4.1: n > 4k+4t with k=1, t=0), obtaining the same outcome
+// distribution with no trusted party.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asyncmediator/internal/core"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Part 1: trusted mediator for Chicken's correlated equilibrium ---
+	g := game.Chicken()
+	circ, err := mediator.SelectCircuit(2, game.ChickenCETable())
+	if err != nil {
+		return err
+	}
+	outcome := game.NewOutcome()
+	for seed := int64(0); seed < 300; seed++ {
+		prof, _, err := mediator.Run(mediator.Config{
+			Game: g, Circuit: circ, Types: []game.Type{0, 0},
+			Approach: game.ApproachAH, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		outcome.Add(prof)
+	}
+	u := g.ExpectedUtility([]game.Type{0, 0}, outcome)
+	fmt.Println("Chicken with a trusted mediator (correlated equilibrium):")
+	fmt.Printf("  outcome distribution: %v\n", outcome)
+	fmt.Printf("  expected utility: %.2f each (mixed equilibrium gives 4.67)\n\n", u[0])
+
+	// --- Part 2: the same idea WITHOUT the mediator ---
+	n, k := 5, 1
+	lottery, err := game.Section64Game(n, k)
+	if err != nil {
+		return err
+	}
+	medCirc, err := mediator.Section64Circuit(n)
+	if err != nil {
+		return err
+	}
+	params := core.Params{
+		Game: lottery, Circuit: medCirc,
+		K: k, T: 0,
+		Variant:  core.Exact41, // n=5 > 4k+4t=4
+		Approach: game.ApproachAH,
+		CoinSeed: 7,
+	}
+	ct := game.NewOutcome()
+	types := make([]game.Type, n)
+	for seed := int64(0); seed < 12; seed++ {
+		prof, res, err := core.Run(core.RunConfig{
+			Params: params, Types: types, Seed: seed, MaxSteps: 30_000_000,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Deadlocked {
+			return fmt.Errorf("unexpected deadlock at seed %d", seed)
+		}
+		ct.Add(prof)
+	}
+	fmt.Println("Section 6.4 lottery implemented by cheap talk (no mediator, Theorem 4.1):")
+	fmt.Printf("  outcome distribution: %v\n", ct)
+	fmt.Printf("  every profile is unanimous: the %d players agreed on the lottery bit\n", n)
+	fmt.Println("  (the bit was computed jointly; no player or scheduler ever saw it early)")
+	return nil
+}

@@ -1,0 +1,203 @@
+package acs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/ba"
+	"asyncmediator/internal/proto"
+)
+
+func runACS(t *testing.T, n, tf int, byz map[int]async.Process, sched async.Scheduler, seed int64) []map[int][]byte {
+	t.Helper()
+	outs := make([]map[int][]byte, n)
+	procs := make([]async.Process, n)
+	coin := ba.SharedCoin{Seed: seed}
+	for i := 0; i < n; i++ {
+		if p, ok := byz[i]; ok {
+			procs[i] = p
+			continue
+		}
+		i := i
+		h := proto.NewHost()
+		inst := New(n, tf, coin, func(ctx *proto.Ctx, values map[int][]byte) { outs[i] = values })
+		if err := h.Register("acs", inst); err != nil {
+			t.Fatal(err)
+		}
+		h.OnStart(func(env *async.Env) {
+			inst.Propose(h.Ctx(env, "acs"), []byte(fmt.Sprintf("v%d", i)))
+		})
+		procs[i] = h
+	}
+	if sched == nil {
+		sched = &async.RoundRobinScheduler{}
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: sched, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+func sameSubsets(a, b map[int][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !bytes.Equal(b[k], v) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllHonest(t *testing.T) {
+	for _, cfg := range []struct{ n, t int }{{4, 1}, {7, 2}} {
+		outs := runACS(t, cfg.n, cfg.t, nil, nil, 1)
+		for i, out := range outs {
+			if out == nil {
+				t.Fatalf("n=%d: party %d did not complete", cfg.n, i)
+			}
+			if len(out) < cfg.n-cfg.t {
+				t.Fatalf("n=%d: subset too small: %d", cfg.n, len(out))
+			}
+			if !sameSubsets(out, outs[0]) {
+				t.Fatalf("n=%d: subsets differ", cfg.n)
+			}
+			for j, v := range out {
+				want := []byte(fmt.Sprintf("v%d", j))
+				if !bytes.Equal(v, want) {
+					t.Fatalf("party %d has %q for %d, want %q", i, v, j, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllHonestRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		outs := runACS(t, 4, 1, nil, async.NewRandomScheduler(seed), seed)
+		for i, out := range outs {
+			if out == nil {
+				t.Fatalf("seed %d: party %d did not complete", seed, i)
+			}
+			if !sameSubsets(out, outs[0]) {
+				t.Fatalf("seed %d: subsets differ: %v vs %v", seed, out, outs[0])
+			}
+		}
+	}
+}
+
+type silent struct{}
+
+func (silent) Start(env *async.Env)                    {}
+func (silent) Deliver(env *async.Env, m async.Message) {}
+
+func TestCrashedPartyExcludedOrIncluded(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n, tf := 7, 2
+		byz := map[int]async.Process{2: silent{}, 5: silent{}}
+		outs := runACS(t, n, tf, byz, async.NewRandomScheduler(seed), seed)
+		var ref map[int][]byte
+		for i, out := range outs {
+			if _, isByz := byz[i]; isByz {
+				continue
+			}
+			if out == nil {
+				t.Fatalf("seed %d: honest party %d did not complete", seed, i)
+			}
+			if ref == nil {
+				ref = out
+			} else if !sameSubsets(out, ref) {
+				t.Fatalf("seed %d: honest subsets differ", seed)
+			}
+			if len(out) < n-tf {
+				t.Fatalf("seed %d: subset size %d < n-t", seed, len(out))
+			}
+			// Crashed parties never broadcast, so they cannot be included.
+			if _, ok := out[2]; ok {
+				t.Fatalf("seed %d: crashed party 2 included", seed)
+			}
+			if _, ok := out[5]; ok {
+				t.Fatalf("seed %d: crashed party 5 included", seed)
+			}
+		}
+	}
+}
+
+func TestLateProposalStillCompletes(t *testing.T) {
+	// One honest party proposes only after receiving a nudge message,
+	// modelling the MPC input phase where proposals depend on AVSS
+	// completions.
+	n, tf := 4, 1
+	outs := make([]map[int][]byte, n)
+	procs := make([]async.Process, n)
+	coin := ba.SharedCoin{Seed: 42}
+	for i := 0; i < n; i++ {
+		i := i
+		h := proto.NewHost()
+		inst := New(n, tf, coin, func(ctx *proto.Ctx, values map[int][]byte) { outs[i] = values })
+		if err := h.Register("acs", inst); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			// Party 3 proposes upon "nudge" from party 0.
+			if err := h.Register("nudge", &proto.FuncModule{
+				OnHandle: func(ctx *proto.Ctx, from async.PID, body any) {
+					inst.Propose(ctx.For("acs"), []byte("late"))
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := h.Register("nudge", &proto.FuncModule{
+				OnStart: func(ctx *proto.Ctx) {
+					if ctx.Self() == 0 {
+						ctx.SendTo(3, "nudge", "go")
+					}
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			h.OnStart(func(env *async.Env) {
+				inst.Propose(h.Ctx(env, "acs"), []byte(fmt.Sprintf("v%d", i)))
+			})
+		}
+		procs[i] = h
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out == nil {
+			t.Fatalf("party %d did not complete", i)
+		}
+		if !sameSubsets(out, outs[0]) {
+			t.Fatal("subsets differ")
+		}
+	}
+}
+
+func TestSubsetAtLeastNMinusT(t *testing.T) {
+	// Property: every completion has >= n-t members across schedules.
+	for seed := int64(20); seed < 26; seed++ {
+		outs := runACS(t, 7, 2, nil, async.NewRandomScheduler(seed), seed)
+		for _, out := range outs {
+			if out == nil {
+				t.Fatal("incomplete")
+			}
+			if len(out) < 5 {
+				t.Fatalf("seed %d: subset %d < 5", seed, len(out))
+			}
+		}
+	}
+}

@@ -1,0 +1,577 @@
+// Package async implements the paper's model of asynchronous games
+// (Section 2): players alternate moves with an *environment* (scheduler)
+// that decides, at every step, which player moves next and which in-transit
+// messages are delivered to it just before it moves.
+//
+// The runtime is deterministic given a seed and a deterministic Scheduler,
+// which makes every experiment in this repository replayable. Schedulers
+// observe only the *message pattern* — sender, receiver, sequence and batch
+// numbers — never message contents, matching the paper's secure-channels
+// assumption (Section 6.1 exploits exactly this interface).
+//
+// Two runtimes share the Process interface:
+//
+//   - Runtime: the scheduler-driven, single-goroutine simulator used by all
+//     experiments and adversarial analyses.
+//   - ConcurrentRuntime (concurrent.go): a goroutine-and-channel runtime
+//     with real nondeterministic interleaving, used by the examples.
+//
+// Relaxed schedulers (Section 5) are supported: a relaxed scheduler may
+// drop message batches forever, subject to the all-or-none rule for
+// messages sent in the same activation step. Dropping is how the paper
+// models mediator-game deadlock, which in turn is what punishment wills
+// (Theorems 4.4/4.5) respond to.
+package async
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// PID identifies a process: players are 0..n-1; auxiliary parties (such as
+// the mediator in a mediator game) take the next ids.
+type PID int
+
+// MsgID is a runtime-assigned identifier of an in-flight message. IDs are
+// assigned in send order and never reused.
+type MsgID int64
+
+// Message is a point-to-point message. Payload contents are visible only
+// to the recipient; schedulers see the remaining (pattern) fields.
+type Message struct {
+	ID      MsgID
+	From    PID
+	To      PID
+	Seq     int // per (From,To) sequence number, starting at 0
+	Batch   int // activation batch: messages sent in one activation share it
+	Payload any
+}
+
+// MsgMeta is the scheduler-visible part of a message (the "message
+// pattern" of Section 6.4's scheduler-counting argument).
+type MsgMeta struct {
+	ID    MsgID
+	From  PID
+	To    PID
+	Seq   int
+	Batch int
+}
+
+// Process is a participant in an asynchronous game. Implementations are
+// message-driven state machines: the runtime calls Start exactly once, when
+// the process is first scheduled (the paper's "signal that the game has
+// started"), and Deliver once per delivered message. All sending and
+// deciding happens through the Env passed to these callbacks.
+type Process interface {
+	Start(env *Env)
+	Deliver(env *Env, msg Message)
+}
+
+// envBackend is the runtime surface behind an Env. Both the deterministic
+// Runtime and the goroutine-based ConcurrentRuntime implement it.
+type envBackend interface {
+	send(from, to PID, payload any)
+	decide(p PID, move any)
+	hasDecided(p PID) bool
+	setWill(p PID, move any)
+	halt(p PID)
+	procRand(p PID) *rand.Rand
+	numProcs() int
+	numPlayers() int
+	now() int
+}
+
+// Env is the capability handed to a process during one activation.
+// It must not be retained across activations.
+type Env struct {
+	b    envBackend
+	self PID
+}
+
+// Self returns the process's own id.
+func (e *Env) Self() PID { return e.self }
+
+// N returns the number of processes in the run.
+func (e *Env) N() int { return e.b.numProcs() }
+
+// Players returns the number of game players (processes minus auxiliaries).
+func (e *Env) Players() int { return e.b.numPlayers() }
+
+// Rand returns the process's private randomness source.
+func (e *Env) Rand() *rand.Rand { return e.b.procRand(e.self) }
+
+// Now returns the current global step number (for tracing only; processes
+// in an asynchronous game have no clocks and protocol logic must not
+// branch on it).
+func (e *Env) Now() int { return e.b.now() }
+
+// Send enqueues a message to the given process. Messages sent during one
+// activation form a batch (relaxed schedulers drop batches atomically).
+func (e *Env) Send(to PID, payload any) {
+	e.b.send(e.self, to, payload)
+}
+
+// Broadcast sends payload to every player process (0..Players-1),
+// including self. This is a convenience for protocols that "send to all";
+// it is n point-to-point sends, not an atomic primitive.
+func (e *Env) Broadcast(payload any) {
+	for p := 0; p < e.b.numPlayers(); p++ {
+		e.b.send(e.self, PID(p), payload)
+	}
+}
+
+// Decide records the process's move in the underlying game. Only the first
+// call takes effect; later calls are ignored (a player moves at most once,
+// as in the paper's definition of a game extension).
+func (e *Env) Decide(move any) {
+	e.b.decide(e.self, move)
+}
+
+// HasDecided reports whether this process has already moved.
+func (e *Env) HasDecided() bool {
+	return e.b.hasDecided(e.self)
+}
+
+// SetWill records the move this process wants made on its behalf if the
+// talk deadlocks before it decides (the Aumann-Hart "will"; Section 1).
+// The most recent call wins, so a will may be rewritten as the process's
+// history grows.
+func (e *Env) SetWill(move any) {
+	e.b.setWill(e.self, move)
+}
+
+// Halt marks the process as finished: it will receive no further
+// activations and its pending incoming messages may be discarded.
+func (e *Env) Halt() {
+	e.b.halt(e.self)
+}
+
+// Event is one environment move: schedule process Player, delivering the
+// listed pending messages to it first (possibly none). DropBatches lists
+// batch ids the scheduler abandons forever; it is legal only for relaxed
+// runs.
+type Event struct {
+	Player      PID
+	Deliver     []MsgID
+	DropBatches []BatchKey
+}
+
+// BatchKey identifies a batch of messages sent by one process in one
+// activation.
+type BatchKey struct {
+	From  PID
+	Batch int
+}
+
+// View is the scheduler-observable state: the message pattern plus
+// public lifecycle facts. Contents of messages are not exposed.
+type View struct {
+	N       int
+	Players int
+	Pending []MsgMeta // in ID (send) order
+	Started []bool
+	Halted  []bool
+	Decided []bool
+	Steps   int
+}
+
+// Scheduler is the environment strategy. Next returns the next event; ok =
+// false ends the run (legal for relaxed schedulers, or when no deliverable
+// messages remain).
+type Scheduler interface {
+	Next(v *View) (ev Event, ok bool)
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Procs are the processes; index = PID.
+	Procs []Process
+	// Players is the number of game players; processes with PID >= Players
+	// are auxiliaries (e.g. the mediator). If zero, defaults to len(Procs).
+	Players int
+	// Scheduler is the environment strategy.
+	Scheduler Scheduler
+	// Seed derives all per-process RNG streams.
+	Seed int64
+	// MaxSteps caps the run (livelock guard). Defaults to 2_000_000.
+	MaxSteps int
+	// Relaxed permits the scheduler to drop batches and to stop with
+	// messages still pending (the paper allows this only in mediator
+	// games; enforcing that is the caller's responsibility).
+	Relaxed bool
+	// Trace, if non-nil, receives every event after it executes.
+	Trace func(TraceEntry)
+}
+
+// TraceEntry describes one executed step, for debugging and analysis.
+type TraceEntry struct {
+	Step      int
+	Player    PID
+	Delivered []MsgMeta
+	Sent      []MsgMeta
+	Started   bool
+}
+
+// Stats aggregates counters from a run.
+type Stats struct {
+	Steps             int
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	PerSender         map[PID]int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Moves maps PID to the move decided during the run (absent if none).
+	Moves map[PID]any
+	// Wills maps PID to the latest will registered (absent if none).
+	Wills map[PID]any
+	// Halted[p] reports whether p halted.
+	Halted []bool
+	// Deadlocked is true if the run ended with some player neither decided
+	// nor halted (livelock/deadlock in the cheap-talk phase).
+	Deadlocked bool
+	Stats      Stats
+}
+
+// MoveOrWill returns the effective move of player p under the AH approach:
+// the decided move if any, else the will if any, else missing=false.
+func (r *Result) MoveOrWill(p PID) (any, bool) {
+	if m, ok := r.Moves[p]; ok {
+		return m, true
+	}
+	if w, ok := r.Wills[p]; ok {
+		return w, true
+	}
+	return nil, false
+}
+
+// Errors returned by Run.
+var (
+	ErrMaxSteps       = errors.New("async: step limit exceeded (livelock?)")
+	ErrBadEvent       = errors.New("async: scheduler produced an invalid event")
+	ErrUnfairStop     = errors.New("async: non-relaxed scheduler stopped with messages pending")
+	ErrDropNotAllowed = errors.New("async: drop in non-relaxed run")
+)
+
+// Runtime executes an asynchronous game under a scheduler.
+type Runtime struct {
+	cfg     Config
+	procs   []Process
+	rngs    []*rand.Rand
+	pending []Message // ID order
+	byID    map[MsgID]int
+	nextID  MsgID
+	seq     map[[2]PID]int
+	batch   []int // per-process activation counter
+	started []bool
+	halted  []bool
+	moves   map[PID]any
+	wills   map[PID]any
+	steps   int
+	stats   Stats
+	current PID // process being activated (for batch attribution)
+	sentNow []MsgMeta
+	dropped map[BatchKey]bool
+	touched map[BatchKey]bool // batches with at least one delivered message
+}
+
+// New creates a Runtime. It returns an error for malformed configs.
+func New(cfg Config) (*Runtime, error) {
+	if len(cfg.Procs) == 0 {
+		return nil, errors.New("async: no processes")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("async: no scheduler")
+	}
+	if cfg.Players == 0 {
+		cfg.Players = len(cfg.Procs)
+	}
+	if cfg.Players < 0 || cfg.Players > len(cfg.Procs) {
+		return nil, fmt.Errorf("async: invalid Players=%d with %d processes", cfg.Players, len(cfg.Procs))
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	n := len(cfg.Procs)
+	rt := &Runtime{
+		cfg:     cfg,
+		procs:   cfg.Procs,
+		rngs:    make([]*rand.Rand, n),
+		byID:    make(map[MsgID]int),
+		seq:     make(map[[2]PID]int),
+		batch:   make([]int, n),
+		started: make([]bool, n),
+		halted:  make([]bool, n),
+		moves:   make(map[PID]any),
+		wills:   make(map[PID]any),
+		dropped: make(map[BatchKey]bool),
+		touched: make(map[BatchKey]bool),
+	}
+	rt.stats.PerSender = make(map[PID]int)
+	for i := range rt.rngs {
+		// Independent, reproducible streams per process.
+		rt.rngs[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+	}
+	return rt, nil
+}
+
+var _ envBackend = (*Runtime)(nil)
+
+func (rt *Runtime) decide(p PID, move any) {
+	if _, done := rt.moves[p]; !done {
+		rt.moves[p] = move
+	}
+}
+
+func (rt *Runtime) hasDecided(p PID) bool {
+	_, done := rt.moves[p]
+	return done
+}
+
+func (rt *Runtime) setWill(p PID, move any)   { rt.wills[p] = move }
+func (rt *Runtime) halt(p PID)                { rt.halted[p] = true }
+func (rt *Runtime) procRand(p PID) *rand.Rand { return rt.rngs[p] }
+func (rt *Runtime) numProcs() int             { return len(rt.procs) }
+func (rt *Runtime) numPlayers() int           { return rt.cfg.Players }
+func (rt *Runtime) now() int                  { return rt.steps }
+
+func (rt *Runtime) send(from, to PID, payload any) {
+	if to < 0 || int(to) >= len(rt.procs) {
+		// Sends to nonexistent processes are silently dropped; a malicious
+		// process must not be able to crash the runtime.
+		return
+	}
+	key := [2]PID{from, to}
+	m := Message{
+		ID:      rt.nextID,
+		From:    from,
+		To:      to,
+		Seq:     rt.seq[key],
+		Batch:   rt.batch[from],
+		Payload: payload,
+	}
+	rt.nextID++
+	rt.seq[key]++
+	rt.byID[m.ID] = len(rt.pending)
+	rt.pending = append(rt.pending, m)
+	rt.stats.MessagesSent++
+	rt.stats.PerSender[from]++
+	rt.sentNow = append(rt.sentNow, meta(m))
+}
+
+func meta(m Message) MsgMeta {
+	return MsgMeta{ID: m.ID, From: m.From, To: m.To, Seq: m.Seq, Batch: m.Batch}
+}
+
+func (rt *Runtime) view() *View {
+	v := &View{
+		N:       len(rt.procs),
+		Players: rt.cfg.Players,
+		Pending: make([]MsgMeta, 0, len(rt.pending)),
+		Started: append([]bool(nil), rt.started...),
+		Halted:  append([]bool(nil), rt.halted...),
+		Decided: make([]bool, len(rt.procs)),
+		Steps:   rt.steps,
+	}
+	for _, m := range rt.pending {
+		v.Pending = append(v.Pending, meta(m))
+	}
+	for p := range rt.procs {
+		_, v.Decided[p] = rt.moves[PID(p)]
+	}
+	return v
+}
+
+// removePending removes message id from the pending set and returns it.
+func (rt *Runtime) removePending(id MsgID) (Message, bool) {
+	idx, ok := rt.byID[id]
+	if !ok {
+		return Message{}, false
+	}
+	m := rt.pending[idx]
+	// Order-preserving removal keeps the ID-sorted invariant.
+	rt.pending = append(rt.pending[:idx], rt.pending[idx+1:]...)
+	delete(rt.byID, id)
+	for i := idx; i < len(rt.pending); i++ {
+		rt.byID[rt.pending[i].ID] = i
+	}
+	return m, true
+}
+
+// Run executes the game to completion and returns the Result.
+//
+// The run ends when (a) the scheduler stops, (b) all processes have halted,
+// or (c) the system is quiescent (no pending undropped messages and all
+// processes started). Ending with a player neither decided nor halted
+// marks the result Deadlocked; layering packages apply wills or default
+// moves to such players.
+func (rt *Runtime) Run() (*Result, error) {
+	for {
+		if rt.steps >= rt.cfg.MaxSteps {
+			return nil, fmt.Errorf("%w after %d steps", ErrMaxSteps, rt.steps)
+		}
+		if rt.allHalted() || rt.quiescent() {
+			break
+		}
+		ev, ok := rt.cfg.Scheduler.Next(rt.view())
+		if !ok {
+			if !rt.cfg.Relaxed && len(rt.pending) > 0 && !rt.allRecipientsHalted() {
+				return nil, ErrUnfairStop
+			}
+			break
+		}
+		if err := rt.exec(ev); err != nil {
+			return nil, err
+		}
+	}
+	return rt.result(), nil
+}
+
+func (rt *Runtime) allHalted() bool {
+	for _, h := range rt.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// allRecipientsHalted reports whether every pending message is addressed
+// to a halted process (such messages can never be consumed).
+func (rt *Runtime) allRecipientsHalted() bool {
+	for _, m := range rt.pending {
+		if !rt.halted[m.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent reports that no further progress is possible: every process
+// has started (so no start signals remain) and no pending message has a
+// live recipient.
+func (rt *Runtime) quiescent() bool {
+	for p := range rt.procs {
+		if !rt.started[p] && !rt.halted[p] {
+			return false
+		}
+	}
+	return rt.allRecipientsHalted()
+}
+
+func (rt *Runtime) exec(ev Event) error {
+	p := ev.Player
+	if p < 0 || int(p) >= len(rt.procs) {
+		return fmt.Errorf("%w: player %d out of range", ErrBadEvent, p)
+	}
+	if len(ev.DropBatches) > 0 {
+		if !rt.cfg.Relaxed {
+			return ErrDropNotAllowed
+		}
+		for _, bk := range ev.DropBatches {
+			// The paper's all-or-none rule: a relaxed scheduler delivers
+			// either all messages sent at one step or none of them.
+			if rt.touched[bk] {
+				return fmt.Errorf("%w: partial drop of batch %+v", ErrBadEvent, bk)
+			}
+			rt.dropped[bk] = true
+		}
+		// Remove all pending messages in dropped batches (all-or-none is
+		// enforced by dropping whole batch keys).
+		kept := rt.pending[:0]
+		for _, m := range rt.pending {
+			if rt.dropped[BatchKey{From: m.From, Batch: m.Batch}] {
+				rt.stats.MessagesDropped++
+				delete(rt.byID, m.ID)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		rt.pending = kept
+		rt.byID = make(map[MsgID]int, len(rt.pending))
+		for i, m := range rt.pending {
+			rt.byID[m.ID] = i
+		}
+	}
+
+	rt.steps++
+	rt.current = p
+	rt.sentNow = nil
+	env := &Env{b: rt, self: p}
+
+	var delivered []MsgMeta
+	startedNow := false
+
+	if rt.halted[p] {
+		// Scheduling a halted process is a no-op; its messages are gone.
+		for _, id := range ev.Deliver {
+			if _, ok := rt.removePending(id); ok {
+				rt.stats.MessagesDropped++
+			}
+		}
+	} else {
+		// New activation: bump the batch counter so sends group correctly.
+		rt.batch[p]++
+		if !rt.started[p] {
+			rt.started[p] = true
+			startedNow = true
+			rt.procs[p].Start(env)
+		}
+		for _, id := range ev.Deliver {
+			if rt.halted[p] {
+				break
+			}
+			m, ok := rt.removePending(id)
+			if !ok {
+				return fmt.Errorf("%w: message %d not pending", ErrBadEvent, id)
+			}
+			if m.To != p {
+				return fmt.Errorf("%w: message %d addressed to %d, delivered to %d", ErrBadEvent, id, m.To, p)
+			}
+			rt.stats.MessagesDelivered++
+			rt.touched[BatchKey{From: m.From, Batch: m.Batch}] = true
+			delivered = append(delivered, meta(m))
+			rt.procs[p].Deliver(env, m)
+		}
+	}
+
+	if rt.cfg.Trace != nil {
+		rt.cfg.Trace(TraceEntry{
+			Step:      rt.steps,
+			Player:    p,
+			Delivered: delivered,
+			Sent:      append([]MsgMeta(nil), rt.sentNow...),
+			Started:   startedNow,
+		})
+	}
+	return nil
+}
+
+func (rt *Runtime) result() *Result {
+	res := &Result{
+		Moves:  make(map[PID]any, len(rt.moves)),
+		Wills:  make(map[PID]any, len(rt.wills)),
+		Halted: append([]bool(nil), rt.halted...),
+	}
+	for k, v := range rt.moves {
+		res.Moves[k] = v
+	}
+	for k, v := range rt.wills {
+		res.Wills[k] = v
+	}
+	for p := 0; p < rt.cfg.Players; p++ {
+		if _, decided := rt.moves[PID(p)]; !decided && !rt.halted[p] {
+			res.Deadlocked = true
+		}
+	}
+	rt.stats.Steps = rt.steps
+	res.Stats = rt.stats
+	res.Stats.PerSender = make(map[PID]int, len(rt.stats.PerSender))
+	for k, v := range rt.stats.PerSender {
+		res.Stats.PerSender[k] = v
+	}
+	return res
+}

@@ -1,0 +1,222 @@
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ConcurrentRuntime runs the same Process implementations as Runtime, but
+// with one goroutine per process and channel-based message passing, so the
+// interleaving is decided by the Go scheduler and randomized per-message
+// delivery delays rather than by an explicit environment strategy.
+//
+// It exists to demonstrate the protocols under "real" asynchrony (the
+// examples use it); all quantitative experiments use the deterministic
+// Runtime, whose scheduler is an explicit object of study in the paper.
+type ConcurrentRuntime struct {
+	procs    []Process
+	players  int
+	seed     int64
+	maxDelay time.Duration
+
+	mu     sync.Mutex
+	moves  map[PID]any
+	wills  map[PID]any
+	halted []bool
+	sent   int
+	seq    map[[2]PID]int
+	rngs   []*rand.Rand
+	jits   []*rand.Rand
+
+	inbox   []chan Message
+	sendWG  sync.WaitGroup
+	wg      sync.WaitGroup
+	stopped chan struct{}
+}
+
+// ConcurrentConfig configures a ConcurrentRuntime.
+type ConcurrentConfig struct {
+	Procs    []Process
+	Players  int           // number of game players; 0 means len(Procs)
+	Seed     int64         // seeds per-process RNGs and delivery jitter
+	MaxDelay time.Duration // max random per-message delivery delay
+}
+
+// NewConcurrent creates a ConcurrentRuntime.
+func NewConcurrent(cfg ConcurrentConfig) (*ConcurrentRuntime, error) {
+	if len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("async: no processes")
+	}
+	if cfg.Players == 0 {
+		cfg.Players = len(cfg.Procs)
+	}
+	if cfg.Players < 0 || cfg.Players > len(cfg.Procs) {
+		return nil, fmt.Errorf("async: invalid Players=%d with %d processes", cfg.Players, len(cfg.Procs))
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	n := len(cfg.Procs)
+	rt := &ConcurrentRuntime{
+		procs:    cfg.Procs,
+		players:  cfg.Players,
+		seed:     cfg.Seed,
+		maxDelay: cfg.MaxDelay,
+		moves:    make(map[PID]any),
+		wills:    make(map[PID]any),
+		halted:   make([]bool, n),
+		seq:      make(map[[2]PID]int),
+		rngs:     make([]*rand.Rand, n),
+		jits:     make([]*rand.Rand, n),
+		inbox:    make([]chan Message, n),
+		stopped:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		rt.rngs[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		rt.jits[i] = rand.New(rand.NewSource(cfg.Seed*7_919 + int64(i)*104_729 + 1))
+		rt.inbox[i] = make(chan Message, 65536)
+	}
+	return rt, nil
+}
+
+var _ envBackend = (*ConcurrentRuntime)(nil)
+
+func (rt *ConcurrentRuntime) send(from, to PID, payload any) {
+	if to < 0 || int(to) >= len(rt.procs) {
+		return
+	}
+	rt.mu.Lock()
+	key := [2]PID{from, to}
+	s := rt.seq[key]
+	rt.seq[key]++
+	rt.sent++
+	delay := time.Duration(rt.jits[from].Int63n(int64(rt.maxDelay) + 1))
+	rt.mu.Unlock()
+	m := Message{From: from, To: to, Seq: s, Payload: payload}
+	// Random delay plus goroutine fan-out randomizes arrival order,
+	// modelling an asynchronous network with eventual delivery.
+	rt.sendWG.Add(1)
+	go func() {
+		defer rt.sendWG.Done()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		select {
+		case rt.inbox[to] <- m:
+		case <-rt.stopped:
+		}
+	}()
+}
+
+func (rt *ConcurrentRuntime) decide(p PID, move any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, done := rt.moves[p]; !done {
+		rt.moves[p] = move
+	}
+}
+
+func (rt *ConcurrentRuntime) hasDecided(p PID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, done := rt.moves[p]
+	return done
+}
+
+func (rt *ConcurrentRuntime) setWill(p PID, move any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.wills[p] = move
+}
+
+func (rt *ConcurrentRuntime) halt(p PID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.halted[p] = true
+}
+
+func (rt *ConcurrentRuntime) isHalted(p PID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.halted[p]
+}
+
+func (rt *ConcurrentRuntime) procRand(p PID) *rand.Rand {
+	// Safe: each process's RNG is used only from its own goroutine.
+	return rt.rngs[p]
+}
+
+func (rt *ConcurrentRuntime) numProcs() int   { return len(rt.procs) }
+func (rt *ConcurrentRuntime) numPlayers() int { return rt.players }
+func (rt *ConcurrentRuntime) now() int        { return 0 }
+
+// Run starts every process, waits until all processes halt or the timeout
+// elapses, and returns the Result. A timeout with undecided live players
+// marks the result Deadlocked, mirroring the deterministic runtime.
+func (rt *ConcurrentRuntime) Run(timeout time.Duration) (*Result, error) {
+	for p := range rt.procs {
+		rt.wg.Add(1)
+		go rt.loop(PID(p))
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		close(rt.stopped)
+		rt.wg.Wait()
+	}
+	// Release any in-flight sender goroutines.
+	select {
+	case <-rt.stopped:
+	default:
+		close(rt.stopped)
+	}
+	rt.sendWG.Wait()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	res := &Result{
+		Moves:  make(map[PID]any, len(rt.moves)),
+		Wills:  make(map[PID]any, len(rt.wills)),
+		Halted: append([]bool(nil), rt.halted...),
+	}
+	for k, v := range rt.moves {
+		res.Moves[k] = v
+	}
+	for k, v := range rt.wills {
+		res.Wills[k] = v
+	}
+	for p := 0; p < rt.players; p++ {
+		if _, ok := rt.moves[PID(p)]; !ok && !rt.halted[p] {
+			res.Deadlocked = true
+		}
+	}
+	res.Stats = Stats{MessagesSent: rt.sent}
+	return res, nil
+}
+
+func (rt *ConcurrentRuntime) loop(p PID) {
+	defer rt.wg.Done()
+	env := &Env{b: rt, self: p}
+	rt.procs[p].Start(env)
+	for {
+		if rt.isHalted(p) {
+			return
+		}
+		select {
+		case m := <-rt.inbox[p]:
+			if rt.isHalted(p) {
+				return
+			}
+			rt.procs[p].Deliver(env, m)
+		case <-rt.stopped:
+			return
+		}
+	}
+}

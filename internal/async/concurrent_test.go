@@ -1,0 +1,75 @@
+package async
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConcurrentPingPong(t *testing.T) {
+	procs := []Process{&initiatorProc{}, echoProc{}, echoProc{}}
+	rt, err := NewConcurrent(ConcurrentConfig{Procs: procs, Seed: 1, MaxDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves[0] != "ping" {
+		t.Fatalf("initiator decided %v, want ping", res.Moves[0])
+	}
+	if res.Moves[1] != "ping" || res.Moves[2] != "ping" {
+		t.Fatalf("echoers decided %v, %v", res.Moves[1], res.Moves[2])
+	}
+}
+
+func TestConcurrentTimeoutDeadlock(t *testing.T) {
+	procs := []Process{silentProc{}, silentProc{}}
+	rt, err := NewConcurrent(ConcurrentConfig{Procs: procs, Seed: 2, MaxDelay: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("expected deadlock on timeout")
+	}
+	if mv, ok := res.MoveOrWill(0); !ok || mv != "punish" {
+		t.Fatalf("will not honoured: %v, %v", mv, ok)
+	}
+}
+
+func TestConcurrentConfigValidation(t *testing.T) {
+	if _, err := NewConcurrent(ConcurrentConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := NewConcurrent(ConcurrentConfig{Procs: []Process{echoProc{}}, Players: 9}); err == nil {
+		t.Error("Players > len(Procs) should fail")
+	}
+}
+
+func TestConcurrentManyMessages(t *testing.T) {
+	// A fan-out/fan-in smoke test: one coordinator pings everyone; all
+	// decide. Exercises concurrent delivery paths under load.
+	n := 20
+	procs := make([]Process, n)
+	procs[0] = &initiatorProc{}
+	for i := 1; i < n; i++ {
+		procs[i] = echoProc{}
+	}
+	rt, err := NewConcurrent(ConcurrentConfig{Procs: procs, Seed: 3, MaxDelay: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if res.Moves[PID(i)] != "ping" {
+			t.Fatalf("player %d decided %v", i, res.Moves[PID(i)])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package avss
+
+import (
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/poly"
+	"asyncmediator/internal/proto"
+	"asyncmediator/internal/rs"
+)
+
+// MsgShare carries one party's share of an opened value.
+type MsgShare struct{ V field.Element }
+
+// Open reconstructs a shared value towards one recipient or towards
+// everyone, using online error correction (packages rs): it tolerates up
+// to t wrong shares and succeeds as soon as deg+t+1 agreeing shares have
+// arrived. Parties contribute via Input; the value surfaces through
+// onValue at receiving parties.
+//
+// Open is the output primitive of the MPC engine: private outputs use one
+// recipient, public openings (e.g. the c = r² opening of the random-bit
+// protocol) use Public = true.
+type Open struct {
+	deg    int // degree of the sharing (t, or 2t for unreduced products)
+	t      int // maximum wrong shares
+	target async.PID
+	public bool
+
+	sent    bool
+	points  map[async.PID]field.Element
+	done    bool
+	value   field.Element
+	onValue func(ctx *proto.Ctx, v field.Element)
+}
+
+var _ proto.Module = (*Open)(nil)
+
+// NewOpen creates a private opening towards target.
+func NewOpen(deg, t int, target async.PID, onValue func(ctx *proto.Ctx, v field.Element)) *Open {
+	return &Open{deg: deg, t: t, target: target, points: make(map[async.PID]field.Element), onValue: onValue}
+}
+
+// NewPublicOpen creates an opening towards all parties.
+func NewPublicOpen(deg, t int, onValue func(ctx *proto.Ctx, v field.Element)) *Open {
+	return &Open{deg: deg, t: t, public: true, points: make(map[async.PID]field.Element), onValue: onValue}
+}
+
+// Start implements proto.Module.
+func (o *Open) Start(ctx *proto.Ctx) {}
+
+// Value returns the reconstructed value, if done.
+func (o *Open) Value() (field.Element, bool) { return o.value, o.done }
+
+// Input contributes this party's share. Duplicate calls are ignored.
+func (o *Open) Input(ctx *proto.Ctx, share field.Element) {
+	if o.sent {
+		return
+	}
+	o.sent = true
+	if o.public {
+		ctx.Broadcast(MsgShare{V: share})
+		return
+	}
+	ctx.Send(o.target, MsgShare{V: share})
+}
+
+// Handle implements proto.Module.
+func (o *Open) Handle(ctx *proto.Ctx, from async.PID, body any) {
+	m, ok := body.(MsgShare)
+	if !ok || o.done {
+		return
+	}
+	if !o.public && ctx.Self() != o.target {
+		return
+	}
+	if _, dup := o.points[from]; dup {
+		return
+	}
+	o.points[from] = m.V
+	pts := make([]poly.Point, 0, len(o.points))
+	for f, v := range o.points {
+		pts = append(pts, poly.Point{X: field.Element(int(f) + 1), Y: v})
+	}
+	sortPoints(pts)
+	p, ok := rs.OEC(pts, o.deg, o.t)
+	if !ok {
+		return
+	}
+	o.done = true
+	o.value = p.Constant()
+	if o.onValue != nil {
+		o.onValue(ctx, o.value)
+	}
+}

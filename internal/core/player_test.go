@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"asyncmediator/internal/circuit"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+)
+
+func TestNewPlayerErrors(t *testing.T) {
+	p := sec64Params(t, 5, 1, 0, Exact41)
+
+	if _, err := NewPlayer(p, -1, 0); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := NewPlayer(p, 7, 0); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+
+	// Circuit with no output for player 2.
+	b := circuit.NewBuilder(5)
+	w := b.RandBit()
+	for i := 0; i < 5; i++ {
+		if i != 2 {
+			b.Output(i, w)
+		}
+	}
+	circ, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.Circuit = circ
+	if _, err := NewPlayer(bad, 2, 0); err == nil {
+		t.Error("player without circuit output should fail")
+	}
+
+	// Circuit with two outputs for player 0.
+	b2 := circuit.NewBuilder(5)
+	w2 := b2.RandBit()
+	b2.Output(0, w2)
+	b2.Output(0, w2)
+	for i := 1; i < 5; i++ {
+		b2.Output(i, w2)
+	}
+	circ2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2 := p
+	bad2.Circuit = circ2
+	if _, err := NewPlayer(bad2, 0, 0); err == nil {
+		t.Error("player with multiple outputs should fail")
+	}
+
+	// Circuit/game size mismatch.
+	circ3, err := mediator.Section64Circuit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad3 := p
+	bad3.Circuit = circ3
+	if _, err := NewPlayer(bad3, 0, 0); err == nil {
+		t.Error("circuit size mismatch should fail")
+	}
+}
+
+func TestMediatorReferencePunishVariantWills(t *testing.T) {
+	// With Punish44, the mediator reference registers punishment wills; a
+	// relaxed drop of the STOP batch then resolves to the punishment.
+	p := sec64Params(t, 4, 1, 0, Punish44)
+	types := make([]game.Type, 4)
+	prof, _, err := MediatorReference(p, types, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range prof {
+		if a != prof[0] || (a != 0 && a != 1) {
+			t.Fatalf("profile %v", prof)
+		}
+	}
+}
+
+func TestMediatorReferenceValidates(t *testing.T) {
+	p := sec64Params(t, 5, 1, 0, Exact41)
+	p.K = 9 // violates the bound
+	if _, _, err := MediatorReference(p, make([]game.Type, 5), nil, 1); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestThresholdsPerVariant(t *testing.T) {
+	cases := []struct {
+		v            Variant
+		k, tf        int
+		wantF, wantD int
+	}{
+		{Exact41, 1, 0, 1, 1},
+		{Epsilon42, 1, 1, 2, 2},
+		{Punish44, 1, 1, 1, 2},
+		{Punish45, 2, 1, 1, 3},
+	}
+	for _, c := range cases {
+		p := Params{K: c.k, T: c.tf, Variant: c.v}
+		f, d := p.thresholds()
+		if f != c.wantF || d != c.wantD {
+			t.Errorf("%v k=%d t=%d: thresholds (%d,%d), want (%d,%d)",
+				c.v, c.k, c.tf, f, d, c.wantF, c.wantD)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+)
+
+// RunConfig describes one play of the cheap-talk game.
+type RunConfig struct {
+	Params Params
+	// Types is the realized type profile.
+	Types []game.Type
+	// Scheduler defaults to round-robin.
+	Scheduler async.Scheduler
+	Seed      int64
+	// Override replaces player processes (deviators, crashers, coalition
+	// members). Keys are player indices.
+	Override map[int]async.Process
+	// MaxSteps guards against livelock; defaults to the runtime's default.
+	MaxSteps int
+}
+
+// Run plays the cheap-talk game once and returns the resolved action
+// profile (after wills or default moves) plus the runtime result.
+func Run(cfg RunConfig) (game.Profile, *async.Result, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := p.Game
+	if len(cfg.Types) != g.N {
+		return nil, nil, fmt.Errorf("core: %d types for %d players", len(cfg.Types), g.N)
+	}
+	procs := make([]async.Process, g.N)
+	for i := 0; i < g.N; i++ {
+		if ov, ok := cfg.Override[i]; ok {
+			procs[i] = ov
+			continue
+		}
+		pl, err := NewPlayer(p, i, cfg.Types[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		procs[i] = pl
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = &async.RoundRobinScheduler{}
+	}
+	rt, err := async.New(async.Config{
+		Procs:     procs,
+		Scheduler: sched,
+		Seed:      cfg.Seed,
+		MaxSteps:  cfg.MaxSteps,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return mediator.ResolveMoves(g, cfg.Types, res, p.Approach), res, nil
+}
+
+// MediatorReference plays the corresponding mediator game once (the ideal
+// world the cheap talk must implement) and returns the resolved profile.
+// The mediator waits for n-k-t complete input sets, mirroring the talk's
+// core-set threshold.
+func MediatorReference(p Params, types []game.Type, sched async.Scheduler, seed int64) (game.Profile, *async.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	wills := map[int]game.Action{}
+	if p.Variant == Punish44 || p.Variant == Punish45 {
+		for i, a := range p.Punishment {
+			wills[i] = a
+		}
+	}
+	return mediator.Run(mediator.Config{
+		Game:      p.Game,
+		Circuit:   p.Circuit,
+		Types:     types,
+		WaitFor:   p.Game.N - p.K - p.T,
+		Rounds:    1,
+		Approach:  p.Approach,
+		Wills:     wills,
+		Scheduler: sched,
+		Seed:      seed,
+	})
+}
+
+// TypeField is a tiny helper re-exported for deviator implementations that
+// need to feed the MPC engine a fabricated type.
+func TypeField(t game.Type) field.Element { return game.TypeToField(t) }

@@ -1,0 +1,219 @@
+package game
+
+import "fmt"
+
+// This file defines the concrete games used across the examples, tests and
+// experiments. They are the paper's own motivating scenarios:
+//
+//   - Section64Game: the counterexample game of Section 6.4 (payoffs
+//     1.1 / 1 / 2, mediator value 1.5) used to show naive punishment wills
+//     fail.
+//   - Chicken: the classic correlated-equilibrium showcase for mediators.
+//   - ConsensusGame: game-theoretic Byzantine agreement (the introduction's
+//     "send your input to the mediator, output the majority" scenario).
+//   - MatchingGame: a Bayesian coordination game with private types.
+
+// Section64Game builds the n-player game of Section 6.4 for coalition
+// bound k. Actions: 0, 1, and Bottom (the paper's ⊥). Utilities (for all
+// players alike):
+//
+//   - at least k+1 players play ⊥             -> 1.1
+//   - at most k ⊥ and everyone in {0, ⊥}      -> 1
+//   - at most k ⊥ and everyone in {1, ⊥}      -> 2
+//   - otherwise                               -> 0
+//
+// The paper requires n > 3k. The all-⊥ profile is a (k+1)-punishment
+// strategy with respect to the mediator equilibrium, whose value is 1.5.
+func Section64Game(n, k int) (*Game, error) {
+	if n <= 3*k {
+		return nil, fmt.Errorf("game: Section 6.4 needs n > 3k, got n=%d k=%d", n, k)
+	}
+	nActs := make([]int, n)
+	nTypes := make([]int, n)
+	for i := range nActs {
+		nActs[i] = 3
+		nTypes[i] = 1
+	}
+	return &Game{
+		N:          n,
+		NumActions: nActs,
+		NumTypes:   nTypes,
+		Utility: func(types []Type, actions Profile) []float64 {
+			bots, zeros, ones, invalid := 0, 0, 0, 0
+			for _, a := range actions {
+				switch a {
+				case 0:
+					zeros++
+				case 1:
+					ones++
+				case Bottom:
+					bots++
+				default:
+					invalid++
+				}
+			}
+			var u float64
+			switch {
+			case invalid > 0:
+				u = 0
+			case bots >= k+1:
+				u = 1.1
+			case zeros == 0: // everyone in {1, ⊥} with ≤ k ⊥
+				u = 2
+			case ones == 0: // everyone in {0, ⊥}
+				u = 1
+			default:
+				u = 0
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = u
+			}
+			return out
+		},
+		// The sensible default move doubles as the punishment strategy.
+		Default: func(i int, t Type) Action { return Bottom },
+	}, nil
+}
+
+// Bottom is the ⊥ action of Section64Game (and of any game that wants an
+// explicit opt-out action).
+const Bottom Action = 2
+
+// Chicken returns the 2-player game of Chicken. Actions: 0 = Dare,
+// 1 = Swerve. Payoffs: (D,D)=(0,0), (D,S)=(7,2), (S,D)=(2,7), (S,S)=(6,6).
+// A mediator implementing the correlated equilibrium uniform on
+// {(D,S),(S,D),(S,S),(S,S)} gives each player 5.25, beating the symmetric
+// mixed equilibrium.
+func Chicken() *Game {
+	payoff := map[[2]Action][2]float64{
+		{0, 0}: {0, 0},
+		{0, 1}: {7, 2},
+		{1, 0}: {2, 7},
+		{1, 1}: {6, 6},
+	}
+	return &Game{
+		N:          2,
+		NumActions: []int{2, 2},
+		NumTypes:   []int{1, 1},
+		Utility: func(types []Type, actions Profile) []float64 {
+			a, b := actions[0], actions[1]
+			if a == NoMove || b == NoMove {
+				return []float64{0, 0} // no-shows crash
+			}
+			p := payoff[[2]Action{a, b}]
+			return []float64{p[0], p[1]}
+		},
+		Default: func(i int, t Type) Action { return 1 }, // swerve
+	}
+}
+
+// ChickenCETable is the correlated-equilibrium profile table for Chicken,
+// in the power-of-two form SelectUniform needs (the (S,S) row is doubled
+// to weight it 1/2).
+func ChickenCETable() [][]int {
+	return [][]int{
+		{0, 1}, // (D,S)
+		{1, 0}, // (S,D)
+		{1, 1}, // (S,S)
+		{1, 1}, // (S,S)
+	}
+}
+
+// ConsensusGame is game-theoretic Byzantine agreement for n players with
+// binary inputs (types): every player announces a decision; players want
+// to agree, and prefer agreeing on the majority of the true inputs.
+//
+//	all agree on majority(inputs) -> 2
+//	all agree otherwise           -> 1
+//	disagreement or no-show       -> 0
+//
+// The uniform joint type distribution makes it a genuine Bayesian game.
+func ConsensusGame(n int) *Game {
+	nActs := make([]int, n)
+	nTypes := make([]int, n)
+	for i := range nActs {
+		nActs[i] = 2
+		nTypes[i] = 2
+	}
+	var dist []TypeProfile
+	total := 1 << n
+	for m := 0; m < total; m++ {
+		tp := make([]Type, n)
+		for i := 0; i < n; i++ {
+			tp[i] = Type((m >> i) & 1)
+		}
+		dist = append(dist, TypeProfile{Prob: 1 / float64(total), Types: tp})
+	}
+	return &Game{
+		N:          n,
+		NumActions: nActs,
+		NumTypes:   nTypes,
+		Dist:       dist,
+		Utility: func(types []Type, actions Profile) []float64 {
+			out := make([]float64, n)
+			first := actions[0]
+			agree := first != NoMove
+			for _, a := range actions {
+				if a != first || a == NoMove {
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				return out
+			}
+			ones := 0
+			for _, t := range types {
+				if t == 1 {
+					ones++
+				}
+			}
+			maj := Action(0)
+			if 2*ones > n {
+				maj = 1
+			}
+			for i := range out {
+				if first == maj {
+					out[i] = 2
+				} else {
+					out[i] = 1
+				}
+			}
+			return out
+		},
+		Default: func(i int, t Type) Action { return Action(t) },
+	}
+}
+
+// MatchingGame is a 2-player Bayesian coordination game ("secret date"):
+// each player has a private preferred venue (type 0 or 1, uniform and
+// independent). Both get 2 for meeting at a venue at least one of them
+// prefers, 1 for meeting anywhere, 0 for missing each other. A mediator
+// picks a venue from the players' preferences (player 0's preference, with
+// ties broken by randomness if they disagree).
+func MatchingGame() *Game {
+	return &Game{
+		N:          2,
+		NumActions: []int{2, 2},
+		NumTypes:   []int{2, 2},
+		Dist: []TypeProfile{
+			{Prob: 0.25, Types: []Type{0, 0}},
+			{Prob: 0.25, Types: []Type{0, 1}},
+			{Prob: 0.25, Types: []Type{1, 0}},
+			{Prob: 0.25, Types: []Type{1, 1}},
+		},
+		Utility: func(types []Type, actions Profile) []float64 {
+			a, b := actions[0], actions[1]
+			if a == NoMove || b == NoMove || a != b {
+				return []float64{0, 0}
+			}
+			u := 1.0
+			if Type(a) == types[0] || Type(a) == types[1] {
+				u = 2.0
+			}
+			return []float64{u, u}
+		},
+		Default: func(i int, t Type) Action { return Action(t) },
+	}
+}

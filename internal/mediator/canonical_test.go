@@ -1,0 +1,115 @@
+package mediator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/game"
+)
+
+// TestCanonicalFormProperty verifies the paper's canonical-form contract
+// (Section 2) as a property over random round counts and schedules: the
+// mediator sends each player at most r messages, the final one being STOP,
+// and honest players send exactly one message per mediator prompt plus the
+// initial one.
+func TestCanonicalFormProperty(t *testing.T) {
+	g := game.Chicken()
+	circ, err := SelectCircuit(2, game.ChickenCETable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64, roundsRaw uint8) bool {
+		rounds := 1 + int(roundsRaw%5)
+		rec := &async.TraceRecorder{}
+		n := g.N
+		procs := make([]async.Process, n+1)
+		for i := 0; i < n; i++ {
+			procs[i] = &HonestPlayer{Mediator: async.PID(n), Type: 0, G: g}
+		}
+		procs[n] = &CircuitMediator{
+			N: n, Circ: circ, WaitFor: n, Rounds: rounds, NumTypes: g.NumTypes,
+		}
+		rt, err := async.New(async.Config{
+			Procs: procs, Players: n, Scheduler: async.NewRandomScheduler(seed),
+			Seed: seed, Trace: rec.Record,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := rt.Run()
+		if err != nil || res.Deadlocked {
+			return false
+		}
+		// Count mediator->player and player->mediator messages.
+		toPlayer := map[async.PID]int{}
+		toMediator := map[async.PID]int{}
+		for _, m := range rec.Sent() {
+			if m.From == async.PID(n) {
+				toPlayer[m.To]++
+			}
+			if m.To == async.PID(n) {
+				toMediator[m.From]++
+			}
+		}
+		for p := 0; p < n; p++ {
+			// Mediator: rounds-1 prompts plus one STOP = rounds messages.
+			if toPlayer[async.PID(p)] != rounds {
+				return false
+			}
+			// Player: initial input plus a reply per prompt.
+			if toMediator[async.PID(p)] != rounds {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStopBatchAtomicity: all STOP messages leave in one activation (one
+// batch), satisfying the hypothesis of Lemma 6.10.
+func TestStopBatchAtomicity(t *testing.T) {
+	g := game.Chicken()
+	circ, err := SelectCircuit(2, game.ChickenCETable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &async.TraceRecorder{}
+	n := g.N
+	procs := make([]async.Process, n+1)
+	for i := 0; i < n; i++ {
+		procs[i] = &HonestPlayer{Mediator: async.PID(n), Type: 0, G: g}
+	}
+	procs[n] = &CircuitMediator{N: n, Circ: circ, WaitFor: n, Rounds: 2, NumTypes: g.NumTypes}
+	rt, err := async.New(async.Config{
+		Procs: procs, Players: n, Scheduler: &async.RoundRobinScheduler{}, Seed: 5, Trace: rec.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The mediator's final activation sends one message per player; they
+	// must all share a batch id.
+	var lastBatch = -1
+	count := 0
+	for _, m := range rec.Sent() {
+		if m.From != async.PID(n) {
+			continue
+		}
+		if m.Batch != lastBatch {
+			lastBatch = m.Batch
+			count = 1
+		} else {
+			count++
+		}
+	}
+	if count != n {
+		t.Fatalf("final mediator batch has %d messages, want %d", count, n)
+	}
+}

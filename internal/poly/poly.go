@@ -1,0 +1,327 @@
+// Package poly implements univariate and symmetric bivariate polynomials
+// over GF(2^31-1), together with Lagrange interpolation. These are the
+// workhorses behind Shamir secret sharing (package shamir), Reed-Solomon
+// decoding (package rs) and the BGW/BCG multiplication degree reduction
+// (package mpc).
+package poly
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"asyncmediator/internal/field"
+)
+
+// Poly is a univariate polynomial; Poly[i] is the coefficient of x^i.
+// The canonical form has no trailing zero coefficients (the zero polynomial
+// is the empty slice). A nil Poly is the zero polynomial.
+type Poly []field.Element
+
+// New returns the polynomial with the given coefficients (low to high),
+// trimmed to canonical form.
+func New(coeffs ...field.Element) Poly {
+	return Poly(coeffs).trim()
+}
+
+// Random returns a uniformly random polynomial of degree at most deg with
+// the given constant term. This is exactly a Shamir sharing polynomial for
+// secret = constant term.
+func Random(rng *rand.Rand, deg int, constant field.Element) Poly {
+	p := make(Poly, deg+1)
+	p[0] = constant
+	for i := 1; i <= deg; i++ {
+		p[i] = field.Rand(rng)
+	}
+	return p.trim()
+}
+
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p; the zero polynomial has degree -1.
+func (p Poly) Degree() int { return len(p.trim()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x field.Element) field.Element {
+	var acc field.Element
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(p[i])
+	}
+	return acc
+}
+
+// Constant returns p(0), the constant term.
+func (p Poly) Constant() field.Element {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var a, b field.Element
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		out[i] = a.Add(b)
+	}
+	return out.trim()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var a, b field.Element
+		if i < len(p) {
+			a = p[i]
+		}
+		if i < len(q) {
+			b = q[i]
+		}
+		out[i] = a.Sub(b)
+	}
+	return out.trim()
+}
+
+// Mul returns p * q (schoolbook multiplication; polynomial degrees in this
+// repository are tiny, so no FFT is needed).
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] = out[i+j].Add(a.Mul(b))
+		}
+	}
+	return out.trim()
+}
+
+// MulScalar returns c * p.
+func (p Poly) MulScalar(c field.Element) Poly {
+	out := make(Poly, len(p))
+	for i, a := range p {
+		out[i] = a.Mul(c)
+	}
+	return out.trim()
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	a, b := p.trim(), q.trim()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer, printing the polynomial high-to-low.
+func (p Poly) String() string {
+	t := p.trim()
+	if len(t) == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	for i := len(t) - 1; i >= 0; i-- {
+		if t[i] == 0 && len(t) > 1 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteString(" + ")
+		}
+		switch i {
+		case 0:
+			fmt.Fprintf(&sb, "%v", t[i])
+		case 1:
+			fmt.Fprintf(&sb, "%v*x", t[i])
+		default:
+			fmt.Fprintf(&sb, "%v*x^%d", t[i], i)
+		}
+	}
+	return sb.String()
+}
+
+// Point is an evaluation point (X, Y) with Y = p(X) for some polynomial p.
+type Point struct {
+	X, Y field.Element
+}
+
+// Interpolate returns the unique polynomial of degree < len(points) passing
+// through all points, via Lagrange interpolation. The X coordinates must be
+// distinct; otherwise an error is returned.
+func Interpolate(points []Point) (Poly, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if points[i].X == points[j].X {
+				return nil, fmt.Errorf("poly: duplicate x coordinate %v", points[i].X)
+			}
+		}
+	}
+	result := Poly(nil)
+	for i := 0; i < n; i++ {
+		// Build the i-th Lagrange basis polynomial L_i, scaled by y_i.
+		basis := New(1)
+		denom := field.Element(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// basis *= (x - x_j)
+			basis = basis.Mul(Poly{points[j].X.Neg(), 1})
+			denom = denom.Mul(points[i].X.Sub(points[j].X))
+		}
+		scale := points[i].Y.Div(denom)
+		result = result.Add(basis.MulScalar(scale))
+	}
+	return result, nil
+}
+
+// EvalAt interpolates through points and evaluates at x without building
+// the full polynomial (barycentric-style evaluation). It is equivalent to
+// Interpolate(points).Eval(x) but cheaper. X coordinates must be distinct.
+func EvalAt(points []Point, x field.Element) (field.Element, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, nil
+	}
+	var acc field.Element
+	for i := 0; i < n; i++ {
+		num := field.Element(1)
+		den := field.Element(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if points[i].X == points[j].X {
+				return 0, fmt.Errorf("poly: duplicate x coordinate %v", points[i].X)
+			}
+			num = num.Mul(x.Sub(points[j].X))
+			den = den.Mul(points[i].X.Sub(points[j].X))
+		}
+		acc = acc.Add(points[i].Y.Mul(num.Div(den)))
+	}
+	return acc, nil
+}
+
+// LagrangeCoeffsAtZero returns the Lagrange recombination coefficients
+// lambda_i such that p(0) = sum_i lambda_i * p(x_i) for any polynomial p of
+// degree < len(xs). These are the classic Shamir reconstruction weights and
+// the BGW degree-reduction weights. X coordinates must be distinct and
+// non-zero.
+func LagrangeCoeffsAtZero(xs []field.Element) ([]field.Element, error) {
+	n := len(xs)
+	out := make([]field.Element, n)
+	for i := 0; i < n; i++ {
+		num := field.Element(1)
+		den := field.Element(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if xs[i] == xs[j] {
+				return nil, fmt.Errorf("poly: duplicate x coordinate %v", xs[i])
+			}
+			num = num.Mul(xs[j])            // (0 - x_j) up to sign...
+			den = den.Mul(xs[j].Sub(xs[i])) // ...matching sign in denominator
+		}
+		out[i] = num.Div(den)
+	}
+	return out, nil
+}
+
+// Bivariate is a symmetric bivariate polynomial F(x, y) of degree at most t
+// in each variable, with F(x, y) = F(y, x). It is the dealing object of the
+// BCG-style asynchronous verifiable secret sharing (package avss): the
+// dealer hands party i the univariate slice F(i, ·), and any two parties
+// can cross-check consistency because F(i, j) = F(j, i).
+type Bivariate struct {
+	t     int
+	coeff [][]field.Element // coeff[a][b] of x^a y^b, symmetric
+}
+
+// NewBivariate returns a uniformly random symmetric bivariate polynomial of
+// degree at most t in each variable with F(0,0) = secret.
+func NewBivariate(rng *rand.Rand, t int, secret field.Element) *Bivariate {
+	c := make([][]field.Element, t+1)
+	for a := range c {
+		c[a] = make([]field.Element, t+1)
+	}
+	for a := 0; a <= t; a++ {
+		for b := a; b <= t; b++ {
+			v := field.Rand(rng)
+			c[a][b] = v
+			c[b][a] = v
+		}
+	}
+	c[0][0] = secret
+	return &Bivariate{t: t, coeff: c}
+}
+
+// Degree returns the per-variable degree bound t.
+func (f *Bivariate) Degree() int { return f.t }
+
+// Secret returns F(0, 0).
+func (f *Bivariate) Secret() field.Element { return f.coeff[0][0] }
+
+// Row returns the univariate slice F(x0, ·) as a Poly in y.
+func (f *Bivariate) Row(x0 field.Element) Poly {
+	out := make(Poly, f.t+1)
+	// out[b] = sum_a coeff[a][b] * x0^a
+	xp := field.Element(1)
+	for a := 0; a <= f.t; a++ {
+		for b := 0; b <= f.t; b++ {
+			out[b] = out[b].Add(f.coeff[a][b].Mul(xp))
+		}
+		xp = xp.Mul(x0)
+	}
+	return out.trim()
+}
+
+// Eval evaluates F at (x, y).
+func (f *Bivariate) Eval(x, y field.Element) field.Element {
+	return f.Row(x).Eval(y)
+}

@@ -1,0 +1,238 @@
+// Package proto provides instance multiplexing for composite protocols.
+//
+// The cheap-talk protocols of the paper are towers of concurrent
+// sub-protocols: one player simultaneously participates in n reliable
+// broadcasts, n Byzantine agreements, n^2 AVSS dealings, and so on. Each
+// sub-protocol is a Module identified by an instance id; a Host implements
+// async.Process and routes incoming messages to the right module.
+//
+// Asynchrony means messages for an instance routinely arrive before the
+// local party has created that instance (e.g. an ECHO for a broadcast whose
+// INIT is still in flight). The Host therefore buffers messages addressed
+// to unregistered instances and replays them on registration.
+//
+// Everything a malicious party sends is untrusted: modules must
+// type-assert message bodies defensively and ignore garbage.
+package proto
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asyncmediator/internal/async"
+)
+
+// Envelope wraps a module message with its instance id. It is the only
+// payload type a Host sends or understands.
+type Envelope struct {
+	Instance string
+	Body     any
+}
+
+// Module is a sub-protocol instance hosted by a Host.
+type Module interface {
+	// Start is called once, when the module is registered on a started
+	// host (or when the host starts, for modules registered earlier).
+	Start(ctx *Ctx)
+	// Handle processes one incoming message body from another party's
+	// module with the same instance id. Bodies are untrusted.
+	Handle(ctx *Ctx, from async.PID, body any)
+}
+
+// Ctx is the capability a module uses to interact with the network and
+// with its host. A Ctx is only valid during the callback that received it.
+type Ctx struct {
+	host *Host
+	env  *async.Env
+	inst string
+}
+
+// Self returns this party's id.
+func (c *Ctx) Self() async.PID { return c.env.Self() }
+
+// N returns the number of protocol participants (game players).
+func (c *Ctx) N() int { return c.env.Players() }
+
+// Rand returns this party's private randomness.
+func (c *Ctx) Rand() *rand.Rand { return c.env.Rand() }
+
+// Instance returns the module's own instance id.
+func (c *Ctx) Instance() string { return c.inst }
+
+// Send sends body to the same instance at party `to`.
+func (c *Ctx) Send(to async.PID, body any) {
+	c.env.Send(to, Envelope{Instance: c.inst, Body: body})
+}
+
+// SendTo sends body to a *different* instance at party `to`. Used by
+// parent modules addressing their children across parties.
+func (c *Ctx) SendTo(to async.PID, instance string, body any) {
+	c.env.Send(to, Envelope{Instance: instance, Body: body})
+}
+
+// Broadcast sends body to the same instance at every participant,
+// including self (n point-to-point sends; not atomic).
+func (c *Ctx) Broadcast(body any) {
+	for p := 0; p < c.N(); p++ {
+		c.Send(async.PID(p), body)
+	}
+}
+
+// Spawn registers a child module under the given absolute instance id and
+// starts it (replaying any buffered messages). Spawning an id twice is a
+// no-op returning the existing module.
+func (c *Ctx) Spawn(instance string, m Module) Module {
+	return c.host.spawn(c.env, instance, m)
+}
+
+// Lookup returns the module registered under instance, if any.
+func (c *Ctx) Lookup(instance string) (Module, bool) {
+	m, ok := c.host.modules[instance]
+	return m, ok
+}
+
+// For returns a Ctx bound to a different instance id, so a parent module
+// can invoke a child module's methods (which send under the child's id).
+func (c *Ctx) For(instance string) *Ctx {
+	return &Ctx{host: c.host, env: c.env, inst: instance}
+}
+
+// Env exposes the underlying game environment, for game-level actions
+// (Decide, SetWill, Halt) that outlive any single module.
+func (c *Ctx) Env() *async.Env { return c.env }
+
+// Host multiplexes modules over one async.Process. The zero value is not
+// usable; call NewHost.
+type Host struct {
+	modules map[string]Module
+	buffer  map[string][]buffered
+	started bool
+	// onStart runs when the host process starts, before any module starts.
+	onStart func(env *async.Env)
+	// startOrder preserves registration order for deterministic startup.
+	startOrder []string
+	// unknown counts messages dropped for lack of a module (diagnostics).
+	unknown int
+}
+
+type buffered struct {
+	from async.PID
+	body any
+}
+
+// NewHost returns an empty Host.
+func NewHost() *Host {
+	return &Host{
+		modules: make(map[string]Module),
+		buffer:  make(map[string][]buffered),
+	}
+}
+
+// Register adds a module before the host starts. Registering after start
+// is equivalent to Spawn from a callback.
+func (h *Host) Register(instance string, m Module) error {
+	if _, dup := h.modules[instance]; dup {
+		return fmt.Errorf("proto: duplicate instance %q", instance)
+	}
+	h.modules[instance] = m
+	h.startOrder = append(h.startOrder, instance)
+	return nil
+}
+
+// OnStart sets a hook invoked when the host process receives the start
+// signal, before modules start.
+func (h *Host) OnStart(f func(env *async.Env)) { h.onStart = f }
+
+// UnknownCount reports how many message bodies were discarded because no
+// module claimed them by the end of the run (malformed or malicious).
+func (h *Host) UnknownCount() int { return h.unknown }
+
+// Ctx builds a context bound to the given instance, for host-level code
+// (such as OnStart hooks) that needs to call into a module's methods.
+func (h *Host) Ctx(env *async.Env, instance string) *Ctx {
+	return &Ctx{host: h, env: env, inst: instance}
+}
+
+var _ async.Process = (*Host)(nil)
+
+// Start implements async.Process.
+func (h *Host) Start(env *async.Env) {
+	h.started = true
+	if h.onStart != nil {
+		h.onStart(env)
+	}
+	for _, id := range h.startOrder {
+		m := h.modules[id]
+		m.Start(&Ctx{host: h, env: env, inst: id})
+		h.flush(env, id)
+	}
+}
+
+// Deliver implements async.Process.
+func (h *Host) Deliver(env *async.Env, msg async.Message) {
+	envlp, ok := msg.Payload.(Envelope)
+	if !ok {
+		h.unknown++
+		return
+	}
+	m, ok := h.modules[envlp.Instance]
+	if !ok {
+		// Buffer for a module that may be spawned later.
+		h.buffer[envlp.Instance] = append(h.buffer[envlp.Instance],
+			buffered{from: msg.From, body: envlp.Body})
+		return
+	}
+	m.Handle(&Ctx{host: h, env: env, inst: envlp.Instance}, msg.From, envlp.Body)
+}
+
+func (h *Host) spawn(env *async.Env, instance string, m Module) Module {
+	if existing, ok := h.modules[instance]; ok {
+		return existing
+	}
+	h.modules[instance] = m
+	h.startOrder = append(h.startOrder, instance)
+	if h.started {
+		m.Start(&Ctx{host: h, env: env, inst: instance})
+		h.flush(env, instance)
+	}
+	return m
+}
+
+func (h *Host) flush(env *async.Env, instance string) {
+	// Replay buffered messages; handlers may spawn further modules, whose
+	// own buffers are flushed recursively by spawn.
+	for {
+		pending := h.buffer[instance]
+		if len(pending) == 0 {
+			return
+		}
+		delete(h.buffer, instance)
+		m := h.modules[instance]
+		for _, b := range pending {
+			m.Handle(&Ctx{host: h, env: env, inst: instance}, b.from, b.body)
+		}
+	}
+}
+
+// FuncModule adapts plain functions to the Module interface; useful in
+// tests and for tiny glue modules.
+type FuncModule struct {
+	OnStart  func(ctx *Ctx)
+	OnHandle func(ctx *Ctx, from async.PID, body any)
+}
+
+var _ Module = (*FuncModule)(nil)
+
+// Start implements Module.
+func (f *FuncModule) Start(ctx *Ctx) {
+	if f.OnStart != nil {
+		f.OnStart(ctx)
+	}
+}
+
+// Handle implements Module.
+func (f *FuncModule) Handle(ctx *Ctx, from async.PID, body any) {
+	if f.OnHandle != nil {
+		f.OnHandle(ctx, from, body)
+	}
+}

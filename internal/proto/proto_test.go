@@ -1,0 +1,177 @@
+package proto
+
+import (
+	"testing"
+
+	"asyncmediator/internal/async"
+)
+
+// buildHosts creates n hosts, applies setup to each, and runs them under a
+// round-robin scheduler.
+func runHosts(t *testing.T, n int, setup func(i int, h *Host)) []*Host {
+	t.Helper()
+	hosts := make([]*Host, n)
+	procs := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = NewHost()
+		setup(i, hosts[i])
+		procs[i] = hosts[i]
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return hosts
+}
+
+func TestRoutingBetweenInstances(t *testing.T) {
+	gotA := make([]any, 3)
+	gotB := make([]any, 3)
+	runHosts(t, 3, func(i int, h *Host) {
+		if err := h.Register("a", &FuncModule{
+			OnStart: func(ctx *Ctx) {
+				if ctx.Self() == 0 {
+					ctx.Broadcast("from-a")
+				}
+			},
+			OnHandle: func(ctx *Ctx, from async.PID, body any) { gotA[i] = body },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Register("b", &FuncModule{
+			OnStart: func(ctx *Ctx) {
+				if ctx.Self() == 1 {
+					ctx.Broadcast("from-b")
+				}
+			},
+			OnHandle: func(ctx *Ctx, from async.PID, body any) { gotB[i] = body },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		if gotA[i] != "from-a" {
+			t.Errorf("host %d instance a got %v", i, gotA[i])
+		}
+		if gotB[i] != "from-b" {
+			t.Errorf("host %d instance b got %v", i, gotB[i])
+		}
+	}
+}
+
+func TestBufferingForUnregisteredInstance(t *testing.T) {
+	// Party 0 sends to instance "late" that peers spawn only upon a
+	// trigger on instance "trigger". Buffered messages must be replayed.
+	received := make([]any, 2)
+	runHosts(t, 2, func(i int, h *Host) {
+		if err := h.Register("trigger", &FuncModule{
+			OnStart: func(ctx *Ctx) {
+				if ctx.Self() == 0 {
+					// Send to "late" BEFORE the peer spawns it, then trigger.
+					ctx.SendTo(1, "late", "early-bird")
+					ctx.Send(1, "go")
+				}
+			},
+			OnHandle: func(ctx *Ctx, from async.PID, body any) {
+				ctx.Spawn("late", &FuncModule{
+					OnHandle: func(ctx *Ctx, from async.PID, body any) { received[i] = body },
+				})
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if received[1] != "early-bird" {
+		t.Fatalf("buffered message not replayed: got %v", received[1])
+	}
+}
+
+func TestSpawnIdempotent(t *testing.T) {
+	runHosts(t, 1, func(i int, h *Host) {
+		if err := h.Register("root", &FuncModule{
+			OnStart: func(ctx *Ctx) {
+				m1 := ctx.Spawn("child", &FuncModule{})
+				m2 := ctx.Spawn("child", &FuncModule{})
+				if m1 != m2 {
+					t.Error("Spawn with same id should return existing module")
+				}
+				if _, ok := ctx.Lookup("child"); !ok {
+					t.Error("Lookup failed for spawned child")
+				}
+				if _, ok := ctx.Lookup("ghost"); ok {
+					t.Error("Lookup found nonexistent module")
+				}
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	h := NewHost()
+	if err := h.Register("x", &FuncModule{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register("x", &FuncModule{}); err == nil {
+		t.Fatal("duplicate Register should fail")
+	}
+}
+
+func TestNonEnvelopeCounted(t *testing.T) {
+	var hosts []*Host
+	raw := &rawSender{}
+	h := NewHost()
+	hosts = append(hosts, h)
+	procs := []async.Process{h, raw}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hosts[0].UnknownCount() != 1 {
+		t.Fatalf("UnknownCount = %d, want 1", hosts[0].UnknownCount())
+	}
+}
+
+type rawSender struct{}
+
+func (*rawSender) Start(env *async.Env) {
+	env.Send(0, "not an envelope")
+	env.Halt()
+}
+func (*rawSender) Deliver(env *async.Env, m async.Message) {}
+
+func TestOnStartHook(t *testing.T) {
+	fired := false
+	runHosts(t, 1, func(i int, h *Host) {
+		h.OnStart(func(env *async.Env) { fired = true })
+	})
+	if !fired {
+		t.Fatal("OnStart hook not invoked")
+	}
+}
+
+func TestSelfDeliveryViaBroadcast(t *testing.T) {
+	selfGot := false
+	runHosts(t, 1, func(i int, h *Host) {
+		if err := h.Register("x", &FuncModule{
+			OnStart: func(ctx *Ctx) { ctx.Broadcast("hi") },
+			OnHandle: func(ctx *Ctx, from async.PID, body any) {
+				if from == ctx.Self() {
+					selfGot = true
+				}
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !selfGot {
+		t.Fatal("broadcast must include self")
+	}
+}

@@ -1,0 +1,144 @@
+// Package rbc implements Bracha's asynchronous reliable broadcast
+// (Bracha 1987), tolerating t < n/3 Byzantine parties.
+//
+// Properties (for a fixed instance with designated dealer):
+//   - Validity: if the dealer is honest and broadcasts v, every honest
+//     party eventually delivers v.
+//   - Agreement: no two honest parties deliver different values.
+//   - Totality: if any honest party delivers, every honest party does.
+//
+// Reliable broadcast is the backbone of Byzantine agreement (package ba)
+// and of the agreement-on-common-subset protocol (package acs), which in
+// turn anchor the BCG-style secure computation the paper's cheap-talk
+// construction compiles mediators into.
+package rbc
+
+import (
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/proto"
+)
+
+// Message kinds exchanged by the protocol. Values are opaque byte strings;
+// equality is byte equality.
+type (
+	// MsgInit is the dealer's initial proposal.
+	MsgInit struct{ V []byte }
+	// MsgEcho is a witness echo of the dealer's proposal.
+	MsgEcho struct{ V []byte }
+	// MsgReady indicates its sender is ready to deliver V.
+	MsgReady struct{ V []byte }
+)
+
+// RBC is one reliable-broadcast instance. Register (or Spawn) it under the
+// same instance id at every party.
+type RBC struct {
+	dealer async.PID
+	t      int
+	// value is what the dealer broadcasts (dealer only; may be set later
+	// via Input).
+	value []byte
+	input bool
+
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+
+	echoes  map[string]map[async.PID]bool
+	readies map[string]map[async.PID]bool
+
+	onDeliver func(ctx *proto.Ctx, v []byte)
+}
+
+var _ proto.Module = (*RBC)(nil)
+
+// New creates an RBC instance for the given dealer and fault bound t.
+// onDeliver is invoked exactly once, when the instance delivers.
+func New(dealer async.PID, t int, onDeliver func(ctx *proto.Ctx, v []byte)) *RBC {
+	return &RBC{
+		dealer:    dealer,
+		t:         t,
+		echoes:    make(map[string]map[async.PID]bool),
+		readies:   make(map[string]map[async.PID]bool),
+		onDeliver: onDeliver,
+	}
+}
+
+// NewDealer creates the dealer-side instance that broadcasts v on start.
+func NewDealer(dealer async.PID, t int, v []byte, onDeliver func(ctx *proto.Ctx, v []byte)) *RBC {
+	r := New(dealer, t, onDeliver)
+	r.value = append([]byte(nil), v...)
+	r.input = true
+	return r
+}
+
+// Delivered reports whether the instance has delivered.
+func (r *RBC) Delivered() bool { return r.delivered }
+
+// Start implements proto.Module.
+func (r *RBC) Start(ctx *proto.Ctx) {
+	if ctx.Self() == r.dealer && r.input {
+		ctx.Broadcast(MsgInit{V: r.value})
+	}
+}
+
+// Input supplies the dealer's value after start (for dynamically spawned
+// instances). No-op for non-dealers or if already provided.
+func (r *RBC) Input(ctx *proto.Ctx, v []byte) {
+	if ctx.Self() != r.dealer || r.input {
+		return
+	}
+	r.value = append([]byte(nil), v...)
+	r.input = true
+	ctx.Broadcast(MsgInit{V: r.value})
+}
+
+// Handle implements proto.Module.
+func (r *RBC) Handle(ctx *proto.Ctx, from async.PID, body any) {
+	n := ctx.N()
+	switch m := body.(type) {
+	case MsgInit:
+		// Only the dealer's INIT counts; echo at most once.
+		if from != r.dealer || r.sentEcho {
+			return
+		}
+		r.sentEcho = true
+		ctx.Broadcast(MsgEcho{V: m.V})
+
+	case MsgEcho:
+		key := string(m.V)
+		if r.echoes[key] == nil {
+			r.echoes[key] = make(map[async.PID]bool)
+		}
+		if r.echoes[key][from] {
+			return // duplicate
+		}
+		r.echoes[key][from] = true
+		// Echo amplification: 2t+1 echoes for v => READY(v).
+		if !r.sentReady && len(r.echoes[key]) >= 2*r.t+1 {
+			r.sentReady = true
+			ctx.Broadcast(MsgReady{V: m.V})
+		}
+
+	case MsgReady:
+		key := string(m.V)
+		if r.readies[key] == nil {
+			r.readies[key] = make(map[async.PID]bool)
+		}
+		if r.readies[key][from] {
+			return
+		}
+		r.readies[key][from] = true
+		// Ready amplification: t+1 READY(v) => READY(v) (ensures totality).
+		if !r.sentReady && len(r.readies[key]) >= r.t+1 {
+			r.sentReady = true
+			ctx.Broadcast(MsgReady{V: m.V})
+		}
+		// Delivery: 2t+1 READY(v).
+		if !r.delivered && len(r.readies[key]) >= 2*r.t+1 && 2*r.t+1 <= n {
+			r.delivered = true
+			if r.onDeliver != nil {
+				r.onDeliver(ctx, []byte(key))
+			}
+		}
+	}
+}

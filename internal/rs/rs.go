@@ -1,0 +1,234 @@
+// Package rs implements Reed-Solomon decoding over GF(2^31-1) via the
+// Berlekamp-Welch algorithm, plus the "online error correction" (OEC)
+// pattern used by asynchronous MPC (Ben-Or, Canetti, Goldreich 1993;
+// Ben-Or, Kelmer, Rabin 1994).
+//
+// In the asynchronous setting a party reconstructing a degree-deg shared
+// secret receives share points one at a time; up to t of them may be wrong
+// (sent by malicious parties) and up to t may never arrive. OEC repeatedly
+// attempts Berlekamp-Welch decoding as points trickle in. A decode is only
+// trusted when the candidate polynomial agrees with at least deg+t+1 of the
+// received points: a wrong polynomial can agree with at most deg honest
+// points plus t corrupt ones, so agreement deg+t+1 pins down the truth.
+// Eventual success needs n-t >= deg+t+1, i.e. n >= deg+2t+1 — which is the
+// reason BCG needs n > 4t (deg = 2t after multiplication) and BKR needs
+// n > 3t (deg = t).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/poly"
+)
+
+// ErrDecode is returned when no polynomial of the requested degree agrees
+// with enough of the received points.
+var ErrDecode = errors.New("rs: decoding failed")
+
+// Decode finds the unique polynomial p of degree <= deg that agrees with
+// all but at most e of the given points, assuming one exists, using
+// Berlekamp-Welch. The X coordinates must be distinct.
+//
+// Requires len(points) >= deg + 1 + 2*e; otherwise an error is returned.
+func Decode(points []poly.Point, deg, e int) (poly.Poly, error) {
+	m := len(points)
+	if deg < 0 || e < 0 {
+		return nil, fmt.Errorf("rs: invalid parameters deg=%d e=%d", deg, e)
+	}
+	if m < deg+1+2*e {
+		return nil, fmt.Errorf("rs: need %d points for deg=%d e=%d, have %d: %w",
+			deg+1+2*e, deg, e, m, ErrDecode)
+	}
+	if e == 0 {
+		// Plain interpolation through the first deg+1 points, then verify.
+		p, err := poly.Interpolate(points[:deg+1])
+		if err != nil {
+			return nil, fmt.Errorf("rs: %w", err)
+		}
+		for _, pt := range points {
+			if p.Eval(pt.X) != pt.Y {
+				return nil, ErrDecode
+			}
+		}
+		return p, nil
+	}
+
+	// Berlekamp-Welch: find E(x) monic of degree e and Q(x) of degree
+	// <= deg+e with Q(x_i) = y_i * E(x_i) for all i. Then p = Q / E.
+	//
+	// Unknowns: e coefficients of E (E is monic: E = x^e + sum e_j x^j),
+	// deg+e+1 coefficients of Q. Total u = deg + 2e + 1 unknowns; one
+	// equation per point.
+	u := deg + 2*e + 1
+	rows := m
+	// Matrix layout per equation i:
+	//   sum_j  q_j x_i^j  -  y_i * sum_j e_j x_i^j  =  y_i * x_i^e
+	// Columns 0..deg+e are Q coefficients, columns deg+e+1..deg+2e are E
+	// coefficients e_0..e_{e-1}.
+	mat := make([][]field.Element, rows)
+	rhs := make([]field.Element, rows)
+	for i, pt := range points {
+		row := make([]field.Element, u)
+		xp := field.Element(1)
+		for j := 0; j <= deg+e; j++ {
+			row[j] = xp
+			xp = xp.Mul(pt.X)
+		}
+		xp = field.Element(1)
+		for j := 0; j < e; j++ {
+			row[deg+e+1+j] = pt.Y.Mul(xp).Neg()
+			xp = xp.Mul(pt.X)
+		}
+		// xp is now x_i^e.
+		rhs[i] = pt.Y.Mul(xp)
+		mat[i] = row
+	}
+	sol, ok := solve(mat, rhs, u)
+	if !ok {
+		return nil, ErrDecode
+	}
+	q := poly.Poly(sol[:deg+e+1]).Clone()
+	eCoeffs := make(poly.Poly, e+1)
+	copy(eCoeffs, sol[deg+e+1:])
+	eCoeffs[e] = 1 // monic
+	quot, rem, err := divide(poly.Poly(q), eCoeffs)
+	if err != nil || !rem.IsZero() {
+		return nil, ErrDecode
+	}
+	if quot.Degree() > deg {
+		return nil, ErrDecode
+	}
+	// Verify the error bound actually holds.
+	bad := 0
+	for _, pt := range points {
+		if quot.Eval(pt.X) != pt.Y {
+			bad++
+		}
+	}
+	if bad > e {
+		return nil, ErrDecode
+	}
+	return quot, nil
+}
+
+// OEC attempts online error correction: given the points received so far,
+// the polynomial degree deg, and a bound t on how many points the adversary
+// controls, it tries to decode with every admissible error budget. It
+// returns the decoded polynomial and true on success; callers invoke OEC
+// again when more points arrive.
+//
+// Safety: a result is returned only if it agrees with at least deg+t+1 of
+// the received points, which no wrong polynomial can achieve when at most t
+// points are corrupt. Liveness: once all honest points have arrived
+// (m >= n-t >= deg+t+1 when n >= deg+2t+1), decoding succeeds.
+func OEC(points []poly.Point, deg, t int) (poly.Poly, bool) {
+	m := len(points)
+	// e errors are admissible iff the surviving agreement m-e still meets
+	// the deg+t+1 threshold and Berlekamp-Welch has enough points.
+	maxE := m - (deg + t + 1)
+	if cap2 := (m - deg - 1) / 2; cap2 < maxE {
+		maxE = cap2
+	}
+	if t < maxE {
+		maxE = t
+	}
+	for e := 0; e <= maxE; e++ {
+		if p, err := Decode(points, deg, e); err == nil {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// CountAgreeing returns how many points lie on p.
+func CountAgreeing(p poly.Poly, points []poly.Point) int {
+	n := 0
+	for _, pt := range points {
+		if p.Eval(pt.X) == pt.Y {
+			n++
+		}
+	}
+	return n
+}
+
+// divide returns quotient and remainder of a / b. b must be non-zero.
+func divide(a, b poly.Poly) (quot, rem poly.Poly, err error) {
+	if b.IsZero() {
+		return nil, nil, errors.New("rs: division by zero polynomial")
+	}
+	rem = a.Clone()
+	db := b.Degree()
+	lead := b[db].Inv()
+	var qc []field.Element
+	for rem.Degree() >= db {
+		dr := rem.Degree()
+		c := rem[dr].Mul(lead)
+		shift := dr - db
+		for len(qc) <= shift {
+			qc = append(qc, 0)
+		}
+		qc[shift] = qc[shift].Add(c)
+		// rem -= c * x^shift * b
+		sub := make(poly.Poly, shift+db+1)
+		for i, bc := range b {
+			sub[shift+i] = bc.Mul(c)
+		}
+		rem = rem.Sub(sub)
+	}
+	return poly.New(qc...), rem, nil
+}
+
+// solve performs Gaussian elimination on an m x u system (possibly over- or
+// under-determined). It returns some solution if the system is consistent;
+// free variables are set to zero. The second return is false if the system
+// is inconsistent.
+func solve(mat [][]field.Element, rhs []field.Element, u int) ([]field.Element, bool) {
+	m := len(mat)
+	pivotCols := make([]int, 0, u)
+	row := 0
+	for col := 0; col < u && row < m; col++ {
+		// Find pivot.
+		sel := -1
+		for r := row; r < m; r++ {
+			if mat[r][col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		mat[row], mat[sel] = mat[sel], mat[row]
+		rhs[row], rhs[sel] = rhs[sel], rhs[row]
+		inv := mat[row][col].Inv()
+		for c := col; c < u; c++ {
+			mat[row][c] = mat[row][c].Mul(inv)
+		}
+		rhs[row] = rhs[row].Mul(inv)
+		for r := 0; r < m; r++ {
+			if r == row || mat[r][col] == 0 {
+				continue
+			}
+			factor := mat[r][col]
+			for c := col; c < u; c++ {
+				mat[r][c] = mat[r][c].Sub(factor.Mul(mat[row][c]))
+			}
+			rhs[r] = rhs[r].Sub(factor.Mul(rhs[row]))
+		}
+		pivotCols = append(pivotCols, col)
+		row++
+	}
+	// Inconsistency check: zero row with non-zero rhs.
+	for r := row; r < m; r++ {
+		if rhs[r] != 0 {
+			return nil, false
+		}
+	}
+	sol := make([]field.Element, u)
+	for i, col := range pivotCols {
+		sol[col] = rhs[i]
+	}
+	return sol, true
+}

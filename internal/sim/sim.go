@@ -1,0 +1,73 @@
+// Package sim is the experiment harness: it regenerates, as text tables,
+// the quantitative content of every claim in the paper's Theorems 4.1-4.5
+// and Section 6.4 (experiments E1-E8 of DESIGN.md). The cmd/mediatorsim
+// binary prints these tables; bench_test.go wraps them as benchmarks;
+// EXPERIMENTS.md records paper-vs-measured.
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	_ = w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Options tune experiment sizes so tests stay fast while the CLI can run
+// larger sweeps.
+type Options struct {
+	// Trials per Monte-Carlo estimate.
+	Trials int
+	// Seed0 is the base seed.
+	Seed0 int64
+	// MaxSteps bounds each simulated run.
+	MaxSteps int
+}
+
+// DefaultOptions are CLI-scale settings.
+func DefaultOptions() Options {
+	return Options{Trials: 100, Seed0: 1, MaxSteps: 30_000_000}
+}
+
+// QuickOptions are test-scale settings.
+func QuickOptions() Options {
+	return Options{Trials: 12, Seed0: 1, MaxSteps: 30_000_000}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asyncmediator/internal/acs"
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/ba"
+	"asyncmediator/internal/proto"
+	"asyncmediator/internal/rbc"
+)
+
+// E8 measures the substrate protocols' message costs and, for Byzantine
+// agreement, the shared-coin vs local-coin ablation.
+func E8(o Options) (*Table, error) {
+	t := &Table{
+		Title:  "E8: substrate ablation (messages per instance)",
+		Header: []string{"protocol", "n", "t", "msgs", "steps"},
+	}
+	for _, n := range []int{4, 7, 10} {
+		tf := (n - 1) / 3
+		msgs, steps, err := runRBC(n, tf, o.Seed0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("rbc", n, tf, msgs, steps)
+	}
+	for _, n := range []int{4, 7, 10} {
+		tf := (n - 1) / 3
+		msgs, steps, err := runBA(n, tf, o.Seed0, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("ba (shared coin)", n, tf, msgs, steps)
+	}
+	for _, n := range []int{4, 7} {
+		tf := (n - 1) / 3
+		msgs, steps, err := runBA(n, tf, o.Seed0, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("ba (local coin)", n, tf, msgs, steps)
+	}
+	for _, n := range []int{4, 7} {
+		tf := (n - 1) / 3
+		msgs, steps, err := runACS(n, tf, o.Seed0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("acs", n, tf, msgs, steps)
+	}
+	t.Notes = append(t.Notes,
+		"rbc is O(n^2); ba with a shared coin finishes in O(1) expected rounds; local coins are slower",
+		"acs = n rbc + n ba instances")
+	return t, nil
+}
+
+func runRBC(n, tf int, seed int64) (msgs, steps int, err error) {
+	procs := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		h := proto.NewHost()
+		var inst *rbc.RBC
+		if i == 0 {
+			inst = rbc.NewDealer(0, tf, []byte("v"), nil)
+		} else {
+			inst = rbc.New(0, tf, nil)
+		}
+		if err := h.Register("rbc", inst); err != nil {
+			return 0, 0, err
+		}
+		procs[i] = h
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Stats.MessagesSent, res.Stats.Steps, nil
+}
+
+func runBA(n, tf int, seed int64, sharedCoin bool) (msgs, steps int, err error) {
+	procs := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		h := proto.NewHost()
+		var coin ba.Coin
+		if sharedCoin {
+			coin = ba.SharedCoin{Seed: seed}
+		} else {
+			coin = &ba.LocalCoin{Rng: rand.New(rand.NewSource(seed + int64(i)))}
+		}
+		inst := ba.New(tf, coin, nil)
+		if err := h.Register("ba", inst); err != nil {
+			return 0, 0, err
+		}
+		v := i % 2
+		hh := h
+		h.OnStart(func(env *async.Env) {
+			inst.Propose(hh.Ctx(env, "ba"), v)
+		})
+		procs[i] = h
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Stats.MessagesSent, res.Stats.Steps, nil
+}
+
+func runACS(n, tf int, seed int64) (msgs, steps int, err error) {
+	procs := make([]async.Process, n)
+	for i := 0; i < n; i++ {
+		h := proto.NewHost()
+		inst := acs.New(n, tf, ba.SharedCoin{Seed: seed}, nil)
+		if err := h.Register("acs", inst); err != nil {
+			return 0, 0, err
+		}
+		v := []byte(fmt.Sprintf("v%d", i))
+		hh := h
+		h.OnStart(func(env *async.Env) {
+			inst.Propose(hh.Ctx(env, "acs"), v)
+		})
+		procs[i] = h
+	}
+	rt, err := async.New(async.Config{Procs: procs, Scheduler: &async.RoundRobinScheduler{}, Seed: seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Stats.MessagesSent, res.Stats.Steps, nil
+}

@@ -1,0 +1,215 @@
+package syncct
+
+import (
+	"math/rand"
+	"testing"
+
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/shamir"
+)
+
+func buildPlayers(t *testing.T, n, d, faults int, seed int64) []Process {
+	t.Helper()
+	procs := make([]Process, n)
+	for i := 0; i < n; i++ {
+		p, err := NewLotteryPlayer(i, n, d, faults, rand.New(rand.NewSource(seed*1000+int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	return procs
+}
+
+func outputs(procs []Process) []game.Action {
+	out := make([]game.Action, 0, len(procs))
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		if a, ok := p.Output(); ok {
+			out = append(out, a)
+		} else {
+			out = append(out, game.NoMove)
+		}
+	}
+	return out
+}
+
+func TestHonestLotteryAtR1Bound(t *testing.T) {
+	// n = 3(k+t)+1 with k+t = 1: n = 4 — the synchronous bound, BELOW the
+	// asynchronous exact bound of 5.
+	seen := map[game.Action]int{}
+	for seed := int64(0); seed < 40; seed++ {
+		procs := buildPlayers(t, 4, 1, 1, seed)
+		Run(procs, 10)
+		outs := outputs(procs)
+		first := outs[0]
+		if first != 0 && first != 1 {
+			t.Fatalf("seed %d: output %v", seed, first)
+		}
+		for _, a := range outs {
+			if a != first {
+				t.Fatalf("seed %d: disagreement %v", seed, outs)
+			}
+		}
+		seen[first]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("lottery degenerate: %v", seen)
+	}
+}
+
+func TestCrashTolerated(t *testing.T) {
+	// One crashed party (nil process) at n=4, d=1, faults=1.
+	for seed := int64(0); seed < 20; seed++ {
+		procs := buildPlayers(t, 4, 1, 1, seed)
+		procs[2] = nil
+		Run(procs, 10)
+		outs := outputs(procs)
+		first := outs[0]
+		if first != 0 && first != 1 {
+			t.Fatalf("seed %d: output %v", seed, first)
+		}
+		for _, a := range outs {
+			if a != first {
+				t.Fatalf("seed %d: disagreement %v", seed, outs)
+			}
+		}
+	}
+}
+
+// wrongShares behaves honestly except that every broadcast share is
+// shifted.
+type wrongShares struct {
+	inner *LotteryPlayer
+}
+
+func (w *wrongShares) Output() (game.Action, bool) { return w.inner.Output() }
+func (w *wrongShares) Round(r int, inbox []Message) []Message {
+	msgs := w.inner.Round(r, inbox)
+	for i, m := range msgs {
+		switch pl := m.Payload.(type) {
+		case msgSquare:
+			pl.U = pl.U.Add(9)
+			msgs[i].Payload = pl
+		case msgBit:
+			pl.B = pl.B.Add(9)
+			msgs[i].Payload = pl
+		}
+	}
+	return msgs
+}
+
+func TestWrongSharesDetectedNeverWrong(t *testing.T) {
+	// At n=4, d=1 a corrupted square share cannot be corrected, but it
+	// must be DETECTED: honest parties either all abstain or all output
+	// the same valid bit — never a wrong/garbage value, and never a split.
+	for seed := int64(0); seed < 20; seed++ {
+		procs := buildPlayers(t, 4, 1, 1, seed)
+		procs[3] = &wrongShares{inner: procs[3].(*LotteryPlayer)}
+		Run(procs, 10)
+		outs := outputs(procs[:3])
+		first := outs[0]
+		for _, a := range outs {
+			if a != first {
+				t.Fatalf("seed %d: honest split %v", seed, outs)
+			}
+		}
+		if first != game.NoMove && first != 0 && first != 1 {
+			t.Fatalf("seed %d: invalid output %v", seed, first)
+		}
+	}
+}
+
+func TestWrongSharesCorrectedWithRedundancy(t *testing.T) {
+	// With n = 7 >= 2d+2*faults+1 the square opening has enough
+	// redundancy to fully correct one wrong share.
+	for seed := int64(0); seed < 10; seed++ {
+		procs := buildPlayers(t, 7, 1, 1, seed)
+		procs[6] = &wrongShares{inner: procs[6].(*LotteryPlayer)}
+		Run(procs, 10)
+		outs := outputs(procs[:6])
+		first := outs[0]
+		if first != 0 && first != 1 {
+			t.Fatalf("seed %d: output %v", seed, first)
+		}
+		for _, a := range outs {
+			if a != first {
+				t.Fatalf("seed %d: disagreement %v", seed, outs)
+			}
+		}
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	// n=3, d=1, faults=1 violates n >= 2d+faults+1 = 4.
+	if _, err := NewLotteryPlayer(0, 3, 1, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("n=3 should be rejected")
+	}
+	// The crossover point: sync works at n=4 where async-exact needs 5.
+	if _, err := NewLotteryPlayer(0, 4, 1, 1, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("n=4 should be accepted: %v", err)
+	}
+}
+
+func TestSecrecyShapeOfShares(t *testing.T) {
+	// The masked square opening must not reveal the sign of r: check that
+	// the opened polynomial u is NOT equal to r(x)^2 (the mask moved the
+	// high coefficients) in a direct algebraic simulation.
+	rng := rand.New(rand.NewSource(5))
+	n, d := 7, 2
+	// r and masks dealt honestly.
+	rpoly := make([]field.Element, 0)
+	_ = rpoly
+	shares := make([]field.Element, n)
+	zshares := make([]field.Element, n)
+	rp := randomPoly(rng, d)
+	for j := 0; j < n; j++ {
+		shares[j] = rp.eval(shamir.XOf(j))
+	}
+	masks := make([]*testPoly, d)
+	for l := range masks {
+		masks[l] = randomPoly(rng, d)
+	}
+	for j := 0; j < n; j++ {
+		x := shamir.XOf(j)
+		xp := x
+		for l := 0; l < d; l++ {
+			zshares[j] = zshares[j].Add(xp.Mul(masks[l].eval(x)))
+			xp = xp.Mul(x)
+		}
+	}
+	// u_j = r_j^2 + z_j; reconstruct u and compare constant term with r^2.
+	diffSeen := false
+	for j := 0; j < n; j++ {
+		u := shares[j].Mul(shares[j]).Add(zshares[j])
+		want := rp.eval(shamir.XOf(j)).Mul(rp.eval(shamir.XOf(j)))
+		if u != want {
+			diffSeen = true
+		}
+	}
+	if !diffSeen {
+		t.Fatal("mask did not alter the square sharing (sign leak)")
+	}
+}
+
+// minimal local polynomial helper for the secrecy test.
+type testPoly struct{ c []field.Element }
+
+func randomPoly(rng *rand.Rand, d int) *testPoly {
+	c := make([]field.Element, d+1)
+	for i := range c {
+		c[i] = field.Rand(rng)
+	}
+	return &testPoly{c: c}
+}
+
+func (p *testPoly) eval(x field.Element) field.Element {
+	var acc field.Element
+	for i := len(p.c) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(p.c[i])
+	}
+	return acc
+}

@@ -1,0 +1,315 @@
+// Package wire runs the repository's protocol processes over real TCP
+// sockets: a full mesh of length-prefixed gob-encoded messages. The same
+// Process implementations that the deterministic simulator executes —
+// reliable broadcast, Byzantine agreement, the full cheap-talk players —
+// run unmodified across machine boundaries.
+//
+// The mesh is intentionally simple (static membership, dial-retry, no TLS,
+// no reconnection): it demonstrates deployment shape, not hardening. The
+// quantitative experiments all use the deterministic runtime, where the
+// scheduler is an object of study.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/avss"
+	"asyncmediator/internal/ba"
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/proto"
+	"asyncmediator/internal/rbc"
+)
+
+// RegisterTypes registers every protocol payload with gob. It is
+// idempotent and must run in every binary before Encode/Decode.
+func RegisterTypes() {
+	registerOnce.Do(func() {
+		gob.Register(proto.Envelope{})
+		gob.Register(rbc.MsgInit{})
+		gob.Register(rbc.MsgEcho{})
+		gob.Register(rbc.MsgReady{})
+		gob.Register(ba.MsgEst{})
+		gob.Register(ba.MsgAux{})
+		gob.Register(ba.MsgDone{})
+		gob.Register(avss.MsgRow{})
+		gob.Register(avss.MsgPoint{})
+		gob.Register(avss.MsgReady{})
+		gob.Register(avss.MsgShare{})
+		gob.Register(mediator.MsgInput{})
+		gob.Register(mediator.MsgRound{})
+		gob.Register(mediator.MsgStop{})
+		gob.Register(mediator.MsgHint{})
+		gob.Register(field.Element(0))
+		gob.Register(game.Action(0))
+		gob.Register("")
+	})
+}
+
+var registerOnce sync.Once
+
+// frame is the on-wire unit.
+type frame struct {
+	From    async.PID
+	To      async.PID
+	Payload any
+}
+
+// Encode serializes a frame with a 4-byte big-endian length prefix.
+func Encode(w io.Writer, f frame) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&f); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(buf.Len()))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Decode reads one length-prefixed frame.
+func Decode(r io.Reader) (frame, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n > 64<<20 {
+		return frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&f); err != nil {
+		return frame{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	return f, nil
+}
+
+// NodeConfig configures one mesh participant.
+type NodeConfig struct {
+	// Self is this node's player id; Addrs[Self] must be its listen
+	// address (host:port; port 0 is not supported — agree on ports first).
+	Self  async.PID
+	Addrs []string
+	// Players is the number of game players (defaults to len(Addrs)).
+	Players int
+	// Proc is the protocol process to run.
+	Proc async.Process
+	// Seed seeds this node's private randomness.
+	Seed int64
+	// DialTimeout bounds the initial mesh formation.
+	DialTimeout time.Duration
+}
+
+// Node is one TCP mesh participant executing a Process.
+type Node struct {
+	cfg    NodeConfig
+	remote *async.Remote
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[async.PID]net.Conn
+	seq   map[async.PID]int
+
+	inbox   chan frame
+	done    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewNode creates a node (not yet listening).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	RegisterTypes()
+	if int(cfg.Self) < 0 || int(cfg.Self) >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("wire: self %d out of range", cfg.Self)
+	}
+	if cfg.Proc == nil {
+		return nil, fmt.Errorf("wire: nil process")
+	}
+	if cfg.Players == 0 {
+		cfg.Players = len(cfg.Addrs)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	n := &Node{
+		cfg:   cfg,
+		conns: make(map[async.PID]net.Conn),
+		seq:   make(map[async.PID]int),
+		inbox: make(chan frame, 4096),
+		done:  make(chan struct{}),
+	}
+	n.remote = async.NewRemote(cfg.Self, len(cfg.Addrs), cfg.Players, cfg.Seed, n.send)
+	return n, nil
+}
+
+// Listen binds the node's listen address. Call before Run on all nodes so
+// the mesh can form.
+func (n *Node) Listen() error {
+	ln, err := net.Listen("tcp", n.cfg.Addrs[n.cfg.Self])
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", n.cfg.Addrs[n.cfg.Self], err)
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one connection; the first frame identifies
+// the peer (a hello with From set and nil payload counts too).
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	for {
+		f, err := Decode(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case n.inbox <- f:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// connectPeers dials every lower-id peer (higher ids dial us), retrying
+// until the timeout.
+func (n *Node) connectPeers() error {
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	for p := 0; p < len(n.cfg.Addrs); p++ {
+		if async.PID(p) == n.cfg.Self {
+			continue
+		}
+		var conn net.Conn
+		var err error
+		for {
+			conn, err = net.DialTimeout("tcp", n.cfg.Addrs[p], time.Second)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("wire: dial peer %d (%s): %w", p, n.cfg.Addrs[p], err)
+		}
+		n.mu.Lock()
+		n.conns[async.PID(p)] = conn
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// send transmits a payload to a peer (loopback for self).
+func (n *Node) send(to async.PID, payload any) {
+	f := frame{From: n.cfg.Self, To: to, Payload: payload}
+	if to == n.cfg.Self {
+		select {
+		case n.inbox <- f:
+		case <-n.done:
+		}
+		return
+	}
+	n.mu.Lock()
+	conn := n.conns[to]
+	n.mu.Unlock()
+	if conn == nil {
+		return // unknown or disconnected peer: asynchronous loss-free model
+		// does not hold over real networks; higher layers tolerate silence.
+	}
+	// Serialize writes per connection.
+	n.mu.Lock()
+	err := Encode(conn, f)
+	n.mu.Unlock()
+	if err != nil {
+		return
+	}
+}
+
+// Run forms the mesh, starts the process, and pumps messages until the
+// process halts, the context times out, or Stop is called. It returns the
+// decided move (if any).
+func (n *Node) Run(timeout time.Duration) (move any, decided bool, err error) {
+	if n.ln == nil {
+		return nil, false, fmt.Errorf("wire: Run before Listen")
+	}
+	if err := n.connectPeers(); err != nil {
+		return nil, false, err
+	}
+	env := n.remote.Env()
+	n.cfg.Proc.Start(env)
+	deadline := time.After(timeout)
+	seq := 0
+	for !n.remote.Halted() {
+		select {
+		case f := <-n.inbox:
+			msg := async.Message{From: f.From, To: n.cfg.Self, Seq: seq, Payload: f.Payload}
+			seq++
+			n.cfg.Proc.Deliver(env, msg)
+		case <-deadline:
+			n.Stop()
+			mv, ok := n.remote.Move()
+			return mv, ok, fmt.Errorf("wire: timeout after %v", timeout)
+		case <-n.done:
+			mv, ok := n.remote.Move()
+			return mv, ok, nil
+		}
+	}
+	n.Stop()
+	mv, ok := n.remote.Move()
+	return mv, ok, nil
+}
+
+// Stop tears the node down.
+func (n *Node) Stop() {
+	n.stopped.Do(func() {
+		close(n.done)
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		n.mu.Lock()
+		for _, c := range n.conns {
+			c.Close()
+		}
+		n.mu.Unlock()
+	})
+}
+
+// Wait blocks until all connection goroutines finished (after Stop).
+func (n *Node) Wait() { n.wg.Wait() }
