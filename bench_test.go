@@ -11,31 +11,18 @@ import (
 	"asyncmediator/internal/core"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/service"
 	"asyncmediator/internal/sim"
 )
 
 func benchParams(b *testing.B, n, k, t int, v core.Variant) core.Params {
 	b.Helper()
-	kk := k
-	if kk == 0 {
-		kk = 1
-	}
-	g, err := game.Section64Game(n, kk)
+	p, err := core.Section64Params(n, k, t, v)
 	if err != nil {
 		b.Fatal(err)
 	}
-	circ, err := mediator.Section64Circuit(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	pun := make(game.Profile, n)
-	for i := range pun {
-		pun[i] = game.Bottom
-	}
-	return core.Params{
-		Game: g, Circuit: circ, K: k, T: t, Variant: v,
-		Approach: game.ApproachAH, Punishment: pun, Epsilon: 0.1, CoinSeed: 31,
-	}
+	p.CoinSeed = 31
+	return p
 }
 
 // benchCheapTalk measures one full cheap-talk run per iteration and
@@ -167,5 +154,37 @@ func BenchmarkE8_Substrates(b *testing.B) {
 		if _, err := sim.E8(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceThroughput measures the session farm (internal/service):
+// b.N plays pushed through the bounded worker pool, reported as
+// sessions/sec and msgs/sec. This is the serving-layer number of the perf
+// trajectory — how many concurrent mediator-free plays one process hosts.
+func BenchmarkServiceThroughput(b *testing.B) {
+	cases := []struct {
+		name string
+		spec service.Spec
+	}{
+		// The default serving configuration: Theorem 4.1's n > 4t with
+		// k=0, t=1 (the asynchronous service-free regime).
+		{"default-n=5,t=1", service.Spec{}},
+		// The cheapest hosted play: Theorem 4.2 at its bound n=4.
+		{"epsilon-n=4,k=1", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			res, err := service.Bench(service.BenchConfig{Sessions: b.N, Spec: c.spec})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > 0 {
+				b.Fatalf("%d sessions failed", res.Failed)
+			}
+			b.ReportMetric(res.SessionsPerSec, "sessions/sec")
+			b.ReportMetric(res.MessagesPerSec, "msgs/sec")
+			b.ReportMetric(res.MeanMsgsPerPlay, "msgs/play")
+		})
 	}
 }

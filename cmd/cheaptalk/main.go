@@ -39,67 +39,31 @@ func run(args []string) error {
 		return err
 	}
 
-	var v core.Variant
-	switch *variant {
-	case "4.1":
-		v = core.Exact41
-	case "4.2":
-		v = core.Epsilon42
-	case "4.4":
-		v = core.Punish44
-	case "4.5":
-		v = core.Punish45
-	default:
-		return fmt.Errorf("unknown variant %q", *variant)
-	}
-
-	kk := *k
-	if kk == 0 {
-		kk = 1
-	}
-	g, err := game.Section64Game(*n, kk)
+	v, err := core.ParseVariant(*variant)
 	if err != nil {
 		return err
 	}
-	circ, err := mediator.Section64Circuit(*n)
+	params, err := core.Section64Params(*n, *k, *t, v)
 	if err != nil {
 		return err
 	}
-	pun := make(game.Profile, *n)
-	for i := range pun {
-		pun[i] = game.Bottom
-	}
-	params := core.Params{
-		Game: g, Circuit: circ, K: *k, T: *t,
-		Variant: v, Approach: game.ApproachAH,
-		Punishment: pun, Epsilon: 0.1, CoinSeed: *seed,
-	}
+	params.CoinSeed = *seed
 	if err := params.Validate(); err != nil {
 		return err
 	}
+	g := params.Game
 
-	var s async.Scheduler
-	switch *sched {
-	case "roundrobin":
-		s = &async.RoundRobinScheduler{}
-	case "random":
-		s = async.NewRandomScheduler(*seed)
-	case "fifo":
-		s = async.FIFOScheduler{}
-	default:
-		return fmt.Errorf("unknown scheduler %q", *sched)
+	s, err := async.SchedulerByName(*sched, *seed)
+	if err != nil {
+		return err
 	}
 
 	// Trace only when asked (it is O(messages) memory).
 	rec := &async.TraceRecorder{}
 	types := make([]game.Type, *n)
-	procs := make([]async.Process, *n)
-	for i := 0; i < *n; i++ {
-		pl, err := core.NewPlayer(params, i, types[i])
-		if err != nil {
-			return err
-		}
-		procs[i] = pl
+	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types})
+	if err != nil {
+		return err
 	}
 	cfg := async.Config{Procs: procs, Scheduler: s, Seed: *seed, MaxSteps: 50_000_000}
 	if *timeline > 0 {

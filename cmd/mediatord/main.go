@@ -1,0 +1,98 @@
+// Command mediatord is the session-farm daemon: one long-running process
+// hosting many concurrent cheap-talk plays behind an HTTP/JSON API. It is
+// the serving-layer counterpart of the paper's claim — the trusted
+// mediator is replaced by a protocol, and this daemon is where thousands
+// of such protocol sessions run side by side.
+//
+// Start the daemon:
+//
+//	mediatord -addr :8080 -workers 8
+//
+// Drive it:
+//
+//	curl -s -X POST localhost:8080/sessions -d '{"n":5,"t":1,"variant":"4.1"}'
+//	curl -s -X POST localhost:8080/sessions/s-000001/types -d '{"types":[0,0,0,0,0]}'
+//	curl -s localhost:8080/sessions/s-000001
+//	curl -s localhost:8080/stats
+//
+// Or measure throughput without the HTTP layer:
+//
+//	mediatord -bench 512 -workers 8
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, queued
+// and in-flight sessions finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"asyncmediator/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mediatord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mediatord", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	workers := fs.Int("workers", 0, "concurrent session executors (0: GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "session queue depth (0: default 1024)")
+	seed := fs.Int64("seed", 1, "base seed for derived per-session seeds")
+	maxN := fs.Int("maxn", 0, "largest per-session player count (0: default 64)")
+	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
+	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
+	benchN := fs.Int("bench-n", 5, "benchmark players per session")
+	benchK := fs.Int("bench-k", 0, "benchmark coalition bound")
+	benchT := fs.Int("bench-t", 1, "benchmark malicious bound")
+	benchVariant := fs.String("bench-variant", "4.1", "benchmark theorem variant")
+	benchBackend := fs.String("bench-backend", "sim", "benchmark backend: sim or wire")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *bench > 0 {
+		cfg := service.BenchConfig{
+			Sessions: *bench,
+			Workers:  *workers,
+			BaseSeed: *seed,
+			Spec: service.Spec{
+				Game: *benchGame, N: *benchN, K: *benchK, T: *benchT,
+				Variant: *benchVariant, Backend: *benchBackend,
+			},
+		}
+		res, err := service.Bench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table(cfg).Render())
+		return nil
+	}
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		BaseSeed:   *seed,
+		MaxN:       *maxN,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("mediatord: serving session farm on %s", *addr)
+	err := svc.ListenAndServe(ctx, *addr)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("mediatord: drained, bye")
+	return nil
+}

@@ -1,0 +1,3 @@
+module asyncmediator
+
+go 1.22

@@ -1,8 +1,26 @@
 package async
 
 import (
+	"fmt"
 	"math/rand"
 )
+
+// SchedulerByName constructs one of the fair schedulers by its CLI/API
+// name: "roundrobin", "random" or "fifo". It is the single registry the
+// CLIs and the service layer share, so adding a scheduler means adding
+// it here once.
+func SchedulerByName(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case "roundrobin":
+		return &RoundRobinScheduler{}, nil
+	case "random":
+		return NewRandomScheduler(seed), nil
+	case "fifo":
+		return FIFOScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("async: unknown scheduler %q (want roundrobin, random or fifo)", name)
+	}
+}
 
 // RandomScheduler delivers a uniformly random pending message at each step
 // (starting not-yet-started processes first with probability proportional

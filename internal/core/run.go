@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/field"
 	"asyncmediator/internal/game"
@@ -28,24 +26,10 @@ type RunConfig struct {
 // profile (after wills or default moves) plus the runtime result.
 func Run(cfg RunConfig) (game.Profile, *async.Result, error) {
 	p := cfg.Params
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
 	g := p.Game
-	if len(cfg.Types) != g.N {
-		return nil, nil, fmt.Errorf("core: %d types for %d players", len(cfg.Types), g.N)
-	}
-	procs := make([]async.Process, g.N)
-	for i := 0; i < g.N; i++ {
-		if ov, ok := cfg.Override[i]; ok {
-			procs[i] = ov
-			continue
-		}
-		pl, err := NewPlayer(p, i, cfg.Types[i])
-		if err != nil {
-			return nil, nil, err
-		}
-		procs[i] = pl
+	procs, err := BuildProcs(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	sched := cfg.Scheduler
 	if sched == nil {

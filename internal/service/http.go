@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"asyncmediator/internal/game"
+)
+
+// ErrNotFound marks a lookup of an unknown session id.
+var ErrNotFound = errors.New("service: no such session")
+
+// typesRequest is the body of POST /sessions/{id}/types.
+type typesRequest struct {
+	Types []int `json:"types"`
+}
+
+// createResponse is the body returned by POST /sessions.
+type createResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Seed  int64  `json:"seed"`
+}
+
+// errorResponse is every error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// Handler returns the farm's HTTP/JSON API:
+//
+//	POST /sessions             create a session (body: Spec)
+//	GET  /sessions/{id}        session snapshot
+//	POST /sessions/{id}/types  submit the realized type profile and run
+//	GET  /stats                farm-wide aggregate statistics
+//	GET  /healthz              liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := decodeBody(r, &spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sess, err := s.CreateSession(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID, State: StateAwaitingTypes, Seed: sess.Seed()})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.Session(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, ErrNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, sess.Snapshot())
+	})
+
+	mux.HandleFunc("POST /sessions/{id}/types", func(w http.ResponseWriter, r *http.Request) {
+		var req typesRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		types := make([]game.Type, len(req.Types))
+		for i, t := range req.Types {
+			types[i] = game.Type(t)
+		}
+		sess, err := s.SubmitTypes(r.PathValue("id"), types)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeErr(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrBadTypes):
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil: // lifecycle conflict: types already submitted
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, createResponse{ID: sess.ID, State: sess.stateNow(), Seed: sess.Seed()})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+// decodeBody strictly decodes a JSON body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+// ListenAndServe runs the HTTP API on addr until ctx is cancelled, then
+// shuts down gracefully: the listener stops accepting, in-flight requests
+// get a grace period, and the worker pool drains queued sessions before
+// this returns.
+func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	s.Close() // drain queued and running sessions
+	return err
+}

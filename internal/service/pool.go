@@ -1,0 +1,73 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull signals farm saturation; clients should back off and retry.
+var ErrQueueFull = errors.New("service: queue full")
+
+// Pool is a bounded worker pool: a fixed set of goroutines draining a
+// fixed-depth job queue. Each worker carries its index so downstream
+// consumers (the stats sink) can shard per worker.
+type Pool struct {
+	jobs chan *Session
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts `workers` goroutines with a queue of depth `queue`.
+// exec runs one session; it receives the worker index.
+func NewPool(workers, queue int, exec func(worker int, s *Session)) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{jobs: make(chan *Session, queue)}
+	for w := 0; w < workers; w++ {
+		w := w
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for s := range p.jobs {
+				exec(w, s)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a session. It errors — without blocking — when the
+// queue is full (the farm is saturated; callers surface backpressure to
+// clients) or the pool is draining.
+func (p *Pool) Submit(s *Session) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("service: pool is shut down")
+	}
+	select {
+	case p.jobs <- s:
+		return nil
+	default:
+		return fmt.Errorf("%w (%d sessions pending)", ErrQueueFull, cap(p.jobs))
+	}
+}
+
+// Close stops intake and waits for queued and in-flight sessions to
+// finish — the drain half of graceful shutdown.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

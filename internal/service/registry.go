@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry owns the session table. Lookups take a read lock; creation is
+// the only writer, so the farm's hot path (status polls from many clients)
+// never contends with itself.
+type Registry struct {
+	baseSeed int64
+	maxN     int
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	nextID   int64
+}
+
+// NewRegistry creates an empty registry. baseSeed anchors derived session
+// seeds; maxN caps the per-session player count (0 means the default 64).
+func NewRegistry(baseSeed int64, maxN int) *Registry {
+	if maxN == 0 {
+		maxN = 64
+	}
+	return &Registry{
+		baseSeed: baseSeed,
+		maxN:     maxN,
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Create validates the spec, compiles its parameters, and registers a new
+// session in the awaiting-types state.
+func (r *Registry) Create(spec Spec) (*Session, error) {
+	spec.normalize()
+	if spec.N > r.maxN {
+		return nil, fmt.Errorf("service: n=%d exceeds the farm's limit of %d", spec.N, r.maxN)
+	}
+	params, err := buildParams(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := fmt.Sprintf("s-%06d", r.nextID)
+	seed := r.baseSeed + r.nextID
+	if spec.Seed != nil {
+		seed = *spec.Seed
+	}
+	params.CoinSeed = seed
+	s := &Session{
+		ID:      id,
+		Spec:    spec,
+		params:  params,
+		seed:    seed,
+		state:   StateAwaitingTypes,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	r.sessions[id] = s
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[id]
+	return s, ok
+}
+
+// Len returns the number of registered sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// IDs returns all session ids in creation order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// StateCounts tallies sessions per lifecycle state.
+func (r *Registry) StateCounts() map[State]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[State]int, 5)
+	for _, s := range r.sessions {
+		out[s.stateNow()]++
+	}
+	return out
+}

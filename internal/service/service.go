@@ -1,0 +1,165 @@
+// Package service is the session farm: a long-running subsystem that
+// hosts many concurrent cheap-talk plays in one process. The paper's
+// point is that the trusted mediator can be replaced by a service-free
+// protocol among the players; this package supplies the serving layer
+// that makes the replacement operational — a registry of sessions, a
+// bounded worker pool executing them with per-session deterministic
+// seeds, a contention-free statistics sink, and an HTTP/JSON control
+// surface (http.go) suitable for a daemon (cmd/mediatord).
+//
+// Two execution backends host the same compiled players: the
+// deterministic in-process simulator (default, the object of study of
+// every experiment) and a loopback TCP mesh of real nodes (package wire),
+// where the operating system schedules.
+package service
+
+import (
+	"runtime"
+	"time"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/game"
+)
+
+// Config tunes the farm.
+type Config struct {
+	// Workers bounds concurrent session execution; defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds sessions queued behind the workers (default 1024);
+	// beyond it, submissions fail fast with backpressure.
+	QueueDepth int
+	// BaseSeed anchors derived per-session seeds (default 1).
+	BaseSeed int64
+	// MaxN caps the per-session player count (default 64).
+	MaxN int
+	// WireTimeout bounds a wire-backend session (default 60s).
+	WireTimeout time.Duration
+}
+
+func (c *Config) normalize() {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.WireTimeout == 0 {
+		c.WireTimeout = 60 * time.Second
+	}
+}
+
+// Service is the session farm.
+type Service struct {
+	cfg   Config
+	reg   *Registry
+	pool  *Pool
+	sink  *Sink
+	start time.Time
+}
+
+// New starts a farm: workers are live and accepting sessions when it
+// returns.
+func New(cfg Config) *Service {
+	cfg.normalize()
+	s := &Service{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.BaseSeed, cfg.MaxN),
+		sink:  NewSink(cfg.Workers),
+		start: time.Now(),
+	}
+	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.exec)
+	return s
+}
+
+// CreateSession registers a new session awaiting its type profile.
+func (s *Service) CreateSession(spec Spec) (*Session, error) {
+	return s.reg.Create(spec)
+}
+
+// Session looks up a session by id.
+func (s *Service) Session(id string) (*Session, bool) {
+	return s.reg.Get(id)
+}
+
+// SubmitTypes supplies a session's realized type profile and queues it
+// for execution.
+func (s *Service) SubmitTypes(id string, types []game.Type) (*Session, error) {
+	sess, ok := s.reg.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if err := sess.SubmitTypes(types); err != nil {
+		return nil, err
+	}
+	if err := s.pool.Submit(sess); err != nil {
+		sess.rollback() // the client may resubmit after backoff
+		return nil, err
+	}
+	return sess, nil
+}
+
+// exec runs one session on its backend and folds the outcome into the
+// sink. It is the worker-pool callback.
+func (s *Service) exec(worker int, sess *Session) {
+	types := sess.begin()
+	var (
+		prof game.Profile
+		res  *async.Result
+		err  error
+	)
+	if sess.Spec.Backend == "wire" {
+		prof, res, err = runWire(sess, types, s.cfg.WireTimeout)
+	} else {
+		prof, res, err = runSim(sess, types)
+	}
+	sess.finish(prof, res, err)
+
+	rec := Record{Failed: err != nil}
+	if err == nil {
+		rec.Deadlocked = res.Deadlocked
+		rec.Steps = int64(res.Stats.Steps)
+		rec.Sent = int64(res.Stats.MessagesSent)
+		rec.Delivered = int64(res.Stats.MessagesDelivered)
+		rec.ProfileKey = prof.Key()
+	}
+	s.sink.Record(worker, rec)
+}
+
+// StatsView is the farm-level aggregate exposed at GET /stats.
+type StatsView struct {
+	Totals
+	SessionsCreated int           `json:"sessions_created"`
+	States          map[State]int `json:"states"`
+	Workers         int           `json:"workers"`
+	UptimeSeconds   float64       `json:"uptime_seconds"`
+	SessionsPerSec  float64       `json:"sessions_per_sec"`
+	MessagesPerSec  float64       `json:"messages_per_sec"`
+}
+
+// Stats aggregates the farm counters.
+func (s *Service) Stats() StatsView {
+	tot := s.sink.Snapshot()
+	up := time.Since(s.start).Seconds()
+	v := StatsView{
+		Totals:          tot,
+		SessionsCreated: s.reg.Len(),
+		States:          s.reg.StateCounts(),
+		Workers:         s.cfg.Workers,
+		UptimeSeconds:   up,
+	}
+	if up > 0 {
+		v.SessionsPerSec = float64(tot.Sessions) / up
+		v.MessagesPerSec = float64(tot.MessagesSent) / up
+	}
+	return v
+}
+
+// Close drains the farm: intake stops, queued and running sessions finish,
+// then the stats collector exits.
+func (s *Service) Close() {
+	s.pool.Close()
+	s.sink.Close()
+}

@@ -1,0 +1,279 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/core"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+)
+
+// State is a session's lifecycle phase. Transitions are strictly forward:
+// awaiting-types -> queued -> running -> done | failed.
+type State string
+
+// The session lifecycle.
+const (
+	StateAwaitingTypes State = "awaiting-types"
+	StateQueued        State = "queued"
+	StateRunning       State = "running"
+	StateDone          State = "done"
+	StateFailed        State = "failed"
+)
+
+// Spec is the client-facing configuration of one hosted play. Zero values
+// select the farm's default serving configuration (the n > 4t asynchronous
+// variant of Theorem 4.1 on the Section 6.4 game).
+type Spec struct {
+	// Game selects the hosted workload: "section64" (default) or
+	// "consensus".
+	Game string `json:"game,omitempty"`
+	// N, K, T are the paper's bounds; zero N defaults to 5, and zero K
+	// with zero T defaults to the service-free k=0, t=1 configuration.
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+	T int `json:"t,omitempty"`
+	// Variant is the theorem label: "4.1" (default), "4.2", "4.4", "4.5".
+	Variant string `json:"variant,omitempty"`
+	// Scheduler picks the simulation environment strategy: "roundrobin"
+	// (default), "random" or "fifo". Ignored by the wire backend, where
+	// the real network schedules.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Backend is "sim" (default: deterministic in-process runtime) or
+	// "wire" (loopback TCP mesh of real nodes).
+	Backend string `json:"backend,omitempty"`
+	// Seed fixes the session's randomness; nil derives a deterministic
+	// seed from the session id, so a farm replay reproduces every play.
+	Seed *int64 `json:"seed,omitempty"`
+	// MaxSteps bounds the simulated run (livelock guard).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// normalize fills defaults in place.
+func (s *Spec) normalize() {
+	if s.Game == "" {
+		s.Game = "section64"
+	}
+	if s.N == 0 {
+		s.N = 5
+	}
+	if s.K == 0 && s.T == 0 {
+		s.T = 1 // the default serving configuration: k=0, n > 4t
+	}
+	if s.Variant == "" {
+		s.Variant = "4.1"
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = "roundrobin"
+	}
+	if s.Backend == "" {
+		s.Backend = "sim"
+	}
+	if s.MaxSteps == 0 {
+		s.MaxSteps = 50_000_000
+	}
+}
+
+// buildParams compiles a normalized Spec into validated core parameters.
+func buildParams(s Spec) (core.Params, error) {
+	v, err := core.ParseVariant(s.Variant)
+	if err != nil {
+		return core.Params{}, err
+	}
+	var p core.Params
+	switch s.Game {
+	case "section64":
+		p, err = core.Section64Params(s.N, s.K, s.T, v)
+		if err != nil {
+			return core.Params{}, err
+		}
+	case "consensus":
+		g := game.ConsensusGame(s.N)
+		circ, err := mediator.MajorityCircuit(s.N)
+		if err != nil {
+			return core.Params{}, err
+		}
+		pun := make(game.Profile, s.N) // all-zero: a valid joint action
+		p = core.Params{
+			Game: g, Circuit: circ, K: s.K, T: s.T,
+			Variant: v, Approach: game.ApproachAH,
+			Punishment: pun, Epsilon: 0.1,
+		}
+	default:
+		return core.Params{}, fmt.Errorf("service: unknown game %q (want section64 or consensus)", s.Game)
+	}
+	if _, err := async.SchedulerByName(s.Scheduler, 0); err != nil {
+		return core.Params{}, err
+	}
+	switch s.Backend {
+	case "sim", "wire":
+	default:
+		return core.Params{}, fmt.Errorf("service: unknown backend %q (want sim or wire)", s.Backend)
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
+// newScheduler builds the simulation scheduler a Spec asks for. The name
+// was validated at session creation, so an unknown one here is a bug.
+func newScheduler(name string, seed int64) async.Scheduler {
+	sched, err := async.SchedulerByName(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// Session is one hosted play of the cheap-talk game. The immutable fields
+// (ID, Spec, params, seed) are set at creation; the mutable run state is
+// guarded by mu.
+type Session struct {
+	ID     string
+	Spec   Spec
+	params core.Params
+	seed   int64
+
+	mu       sync.Mutex
+	state    State
+	types    []game.Type
+	profile  game.Profile
+	res      *async.Result
+	err      error
+	created  time.Time
+	finished time.Time
+
+	// done closes when the session reaches a terminal state.
+	done chan struct{}
+}
+
+// Params returns the compiled protocol parameters (immutable).
+func (s *Session) Params() core.Params { return s.params }
+
+// Seed returns the session's deterministic seed.
+func (s *Session) Seed() int64 { return s.seed }
+
+// Done returns a channel closed when the session completes or fails.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// ErrBadTypes marks a malformed type profile (wrong arity or value out
+// of range) — a client-request error, distinct from a lifecycle conflict.
+var ErrBadTypes = errors.New("service: bad type profile")
+
+// SubmitTypes records the realized type profile and moves the session to
+// Queued. Malformed profiles error with ErrBadTypes; submitting to a
+// session that already has types is a lifecycle conflict.
+func (s *Session) SubmitTypes(types []game.Type) error {
+	g := s.params.Game
+	if len(types) != g.N {
+		return fmt.Errorf("%w: %d types for %d players", ErrBadTypes, len(types), g.N)
+	}
+	for i, tp := range types {
+		if int(tp) < 0 || int(tp) >= g.NumTypes[i] {
+			return fmt.Errorf("%w: type %d out of range for player %d", ErrBadTypes, tp, i)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateAwaitingTypes {
+		return fmt.Errorf("service: session %s is %s, not %s", s.ID, s.state, StateAwaitingTypes)
+	}
+	s.types = append([]game.Type(nil), types...)
+	s.state = StateQueued
+	return nil
+}
+
+// rollback undoes a queued-but-not-submitted transition (pool rejection):
+// the one legal backward step in the lifecycle, so the client can
+// resubmit its types after backoff.
+func (s *Session) rollback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = StateAwaitingTypes
+	s.types = nil
+}
+
+// begin moves the session to Running and returns its type profile.
+func (s *Session) begin() []game.Type {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = StateRunning
+	return s.types
+}
+
+// finish records the outcome and closes Done.
+func (s *Session) finish(profile game.Profile, res *async.Result, err error) {
+	s.mu.Lock()
+	if err != nil {
+		s.state = StateFailed
+		s.err = err
+	} else {
+		s.state = StateDone
+		s.profile = profile
+		s.res = res
+	}
+	s.finished = time.Now()
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// View is a JSON-renderable snapshot of a session.
+type View struct {
+	ID        string    `json:"id"`
+	State     State     `json:"state"`
+	Spec      Spec      `json:"spec"`
+	Seed      int64     `json:"seed"`
+	Variant   string    `json:"variant_theorem"`
+	Bound     int       `json:"bound_n"`
+	Types     []int     `json:"types,omitempty"`
+	Profile   []int     `json:"profile,omitempty"`
+	Utilities []float64 `json:"utilities,omitempty"`
+	Deadlock  bool      `json:"deadlocked,omitempty"`
+	Steps     int       `json:"steps,omitempty"`
+	MsgsSent  int       `json:"messages_sent,omitempty"`
+	MsgsDeliv int       `json:"messages_delivered,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// Snapshot returns a consistent view of the session.
+func (s *Session) Snapshot() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:      s.ID,
+		State:   s.state,
+		Spec:    s.Spec,
+		Seed:    s.seed,
+		Variant: s.params.Variant.String(),
+		Bound:   s.params.Variant.Bound(s.params.K, s.params.T),
+	}
+	for _, tp := range s.types {
+		v.Types = append(v.Types, int(tp))
+	}
+	if s.state == StateDone {
+		for _, a := range s.profile {
+			v.Profile = append(v.Profile, int(a))
+		}
+		v.Utilities = s.params.Game.Utility(s.types, s.profile)
+		v.Deadlock = s.res.Deadlocked
+		v.Steps = s.res.Stats.Steps
+		v.MsgsSent = s.res.Stats.MessagesSent
+		v.MsgsDeliv = s.res.Stats.MessagesDelivered
+	}
+	if s.err != nil {
+		v.Error = s.err.Error()
+	}
+	return v
+}
+
+// stateNow returns the current state.
+func (s *Session) stateNow() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}

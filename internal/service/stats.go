@@ -1,0 +1,151 @@
+package service
+
+import (
+	"sync/atomic"
+)
+
+// Record is one completed session's contribution to the farm statistics.
+type Record struct {
+	Failed     bool
+	Deadlocked bool
+	Steps      int64
+	Sent       int64
+	Delivered  int64
+	// ProfileKey is the outcome profile's canonical key ("" for failures).
+	ProfileKey string
+}
+
+// shard is one worker's private slice of the numeric counters. The
+// trailing pad keeps shards on distinct cache lines so concurrent workers
+// never false-share.
+type shard struct {
+	sessions   atomic.Int64
+	failed     atomic.Int64
+	deadlocked atomic.Int64
+	steps      atomic.Int64
+	sent       atomic.Int64
+	delivered  atomic.Int64
+	_          [64]byte
+}
+
+// Sink aggregates Records without a global mutex. Numeric counters are
+// sharded per worker (lock-free atomics, one cache line each); the
+// outcome-profile histogram — a map, which atomics cannot shard — is owned
+// by a single collector goroutine fed over a channel, so it too has no
+// lock. Snapshot sums the shards and asks the collector for a copy.
+type Sink struct {
+	shards []shard
+	outc   chan string
+	snapc  chan chan map[string]int64
+	donec  chan struct{}
+	closed atomic.Bool
+}
+
+// NewSink creates a sink with one counter shard per worker.
+func NewSink(workers int) *Sink {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Sink{
+		shards: make([]shard, workers),
+		outc:   make(chan string, 256),
+		snapc:  make(chan chan map[string]int64),
+		donec:  make(chan struct{}),
+	}
+	go s.collect()
+	return s
+}
+
+// collect owns the outcome histogram.
+func (s *Sink) collect() {
+	hist := make(map[string]int64)
+	for {
+		select {
+		case k := <-s.outc:
+			hist[k]++
+		case req := <-s.snapc:
+			// Fold in everything already buffered, so a snapshot taken
+			// after the last Record returned reflects that record.
+		drain:
+			for {
+				select {
+				case k := <-s.outc:
+					hist[k]++
+				default:
+					break drain
+				}
+			}
+			cp := make(map[string]int64, len(hist))
+			for k, v := range hist {
+				cp[k] = v
+			}
+			req <- cp
+		case <-s.donec:
+			return
+		}
+	}
+}
+
+// Record folds one session result into the sink. worker indexes the
+// caller's shard; distinct concurrent callers should pass distinct
+// indices so the counters stay contention-free.
+func (s *Sink) Record(worker int, rec Record) {
+	sh := &s.shards[worker%len(s.shards)]
+	sh.sessions.Add(1)
+	if rec.Failed {
+		sh.failed.Add(1)
+	}
+	if rec.Deadlocked {
+		sh.deadlocked.Add(1)
+	}
+	sh.steps.Add(rec.Steps)
+	sh.sent.Add(rec.Sent)
+	sh.delivered.Add(rec.Delivered)
+	if rec.ProfileKey != "" {
+		select {
+		case s.outc <- rec.ProfileKey:
+		case <-s.donec:
+		}
+	}
+}
+
+// Totals is an aggregated snapshot of the sink.
+type Totals struct {
+	Sessions          int64            `json:"sessions_completed"`
+	Failed            int64            `json:"sessions_failed"`
+	Deadlocked        int64            `json:"sessions_deadlocked"`
+	Steps             int64            `json:"steps"`
+	MessagesSent      int64            `json:"messages_sent"`
+	MessagesDelivered int64            `json:"messages_delivered"`
+	Outcomes          map[string]int64 `json:"outcomes,omitempty"`
+}
+
+// Snapshot sums all shards and copies the outcome histogram.
+func (s *Sink) Snapshot() Totals {
+	var t Totals
+	for i := range s.shards {
+		sh := &s.shards[i]
+		t.Sessions += sh.sessions.Load()
+		t.Failed += sh.failed.Load()
+		t.Deadlocked += sh.deadlocked.Load()
+		t.Steps += sh.steps.Load()
+		t.MessagesSent += sh.sent.Load()
+		t.MessagesDelivered += sh.delivered.Load()
+	}
+	req := make(chan map[string]int64, 1)
+	select {
+	case s.snapc <- req:
+		t.Outcomes = <-req
+	case <-s.donec:
+		// Closed sink: counters remain valid, histogram is gone.
+	}
+	return t
+}
+
+// Close stops the collector goroutine. Counter reads stay valid; the
+// outcome histogram is discarded.
+func (s *Sink) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.donec)
+	}
+}

@@ -12,27 +12,7 @@ import (
 // which scales to any n > 3k and exercises a full random-bit MPC — the
 // workhorse workload of E1-E5.
 func buildParams(n, k, t int, v core.Variant) (core.Params, error) {
-	kk := k
-	if kk == 0 {
-		kk = 1 // the game's coalition-size parameter must be >= 1
-	}
-	g, err := game.Section64Game(n, kk)
-	if err != nil {
-		return core.Params{}, err
-	}
-	circ, err := mediator.Section64Circuit(n)
-	if err != nil {
-		return core.Params{}, err
-	}
-	pun := make(game.Profile, n)
-	for i := range pun {
-		pun[i] = game.Bottom
-	}
-	return core.Params{
-		Game: g, Circuit: circ, K: k, T: t,
-		Variant: v, Approach: game.ApproachAH,
-		Punishment: pun, Epsilon: 0.1, CoinSeed: 777,
-	}, nil
+	return core.Section64Params(n, k, t, v)
 }
 
 // honestStats runs `trials` honest cheap-talk plays and the mediator

@@ -14,10 +14,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncmediator/internal/async"
@@ -56,6 +58,11 @@ func RegisterTypes() {
 }
 
 var registerOnce sync.Once
+
+// ErrTimeout marks a Run that hit its deadline before the process halted
+// — the wire-level analogue of a deadlocked play. Callers distinguish it
+// from transport failures with errors.Is.
+var ErrTimeout = errors.New("wire: timeout")
 
 // frame is the on-wire unit.
 type frame struct {
@@ -130,7 +137,28 @@ type Node struct {
 	done    chan struct{}
 	stopped sync.Once
 	wg      sync.WaitGroup
+
+	sent      atomic.Int64
+	delivered atomic.Int64
 }
+
+// NodeStats are the node's cumulative traffic counters. Sent counts every
+// payload handed to the transport (loopback included); Delivered counts
+// frames consumed by the process's Deliver loop.
+type NodeStats struct {
+	Sent      int64
+	Delivered int64
+}
+
+// Stats returns a snapshot of the traffic counters. Safe to call from any
+// goroutine, including while Run is in flight.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{Sent: n.sent.Load(), Delivered: n.delivered.Load()}
+}
+
+// Remote returns the node's local game-state backend (moves, wills, halt
+// flag). Serving layers read it after Run to assemble a run result.
+func (n *Node) Remote() *async.Remote { return n.remote }
 
 // NewNode creates a node (not yet listening).
 func NewNode(cfg NodeConfig) (*Node, error) {
@@ -165,10 +193,64 @@ func (n *Node) Listen() error {
 	if err != nil {
 		return fmt.Errorf("wire: listen %s: %w", n.cfg.Addrs[n.cfg.Self], err)
 	}
+	n.attach(ln)
+	return nil
+}
+
+// attach adopts a pre-bound listener and starts accepting.
+func (n *Node) attach(ln net.Listener) {
 	n.ln = ln
 	n.wg.Add(1)
 	go n.acceptLoop()
-	return nil
+}
+
+// NewLocalMesh builds a complete loopback mesh for the given processes:
+// every node gets its own ephemeral 127.0.0.1 port (no port agreement
+// needed) and is already listening when this returns, so Run may be called
+// on all nodes concurrently. players follows NodeConfig.Players semantics;
+// node i's randomness derives from seed and i.
+func NewLocalMesh(procs []async.Process, players int, seed int64) ([]*Node, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("wire: empty mesh")
+	}
+	lns := make([]net.Listener, len(procs))
+	addrs := make([]string, len(procs))
+	closeAll := func() {
+		for _, ln := range lns {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+	}
+	for i := range procs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("wire: local mesh listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*Node, len(procs))
+	for i, proc := range procs {
+		node, err := NewNode(NodeConfig{
+			Self: async.PID(i), Addrs: addrs, Players: players,
+			Proc: proc, Seed: seed + int64(i),
+		})
+		if err != nil {
+			closeAll()
+			for _, nd := range nodes {
+				if nd != nil {
+					nd.Stop()
+				}
+			}
+			return nil, err
+		}
+		node.attach(lns[i])
+		lns[i] = nil // owned by the node from here on
+		nodes[i] = node
+	}
+	return nodes, nil
 }
 
 // Addr returns the bound listen address.
@@ -238,6 +320,7 @@ func (n *Node) connectPeers() error {
 
 // send transmits a payload to a peer (loopback for self).
 func (n *Node) send(to async.PID, payload any) {
+	n.sent.Add(1)
 	f := frame{From: n.cfg.Self, To: to, Payload: payload}
 	if to == n.cfg.Self {
 		select {
@@ -281,11 +364,12 @@ func (n *Node) Run(timeout time.Duration) (move any, decided bool, err error) {
 		case f := <-n.inbox:
 			msg := async.Message{From: f.From, To: n.cfg.Self, Seq: seq, Payload: f.Payload}
 			seq++
+			n.delivered.Add(1)
 			n.cfg.Proc.Deliver(env, msg)
 		case <-deadline:
 			n.Stop()
 			mv, ok := n.remote.Move()
-			return mv, ok, fmt.Errorf("wire: timeout after %v", timeout)
+			return mv, ok, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 		case <-n.done:
 			mv, ok := n.remote.Move()
 			return mv, ok, nil
