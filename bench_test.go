@@ -157,6 +157,34 @@ func BenchmarkE8_Substrates(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentSweep measures the sharded experiment engine: one E1
+// sweep (the paper's workhorse grid — honest plays plus two deviations at
+// each parameter point) per iteration, at increasing worker counts. The
+// tables are byte-identical across the sub-benchmarks; only the wall
+// clock moves. This is the measurement behind the "≥2x at 4 workers"
+// acceptance line — compare the workers=1 and workers=4 ns/op.
+func BenchmarkExperimentSweep(b *testing.B) {
+	o := sim.Options{Trials: 16, Seed0: 1, MaxSteps: 30_000_000}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := sim.NewEngine(workers)
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := eng.Sweep([]string{"e1"}, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, tab := range rep.Tables {
+					if len(tab.Errors) > 0 {
+						b.Fatalf("cell errors: %+v", tab.Errors)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceThroughput measures the session farm (internal/service):
 // b.N plays pushed through the bounded worker pool, reported as
 // sessions/sec and msgs/sec. This is the serving-layer number of the perf

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: asyncmediator
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkExperimentSweep/workers=1         	       1	2451599519 ns/op
+BenchmarkExperimentSweep/workers=4         	       1	1102383032 ns/op
+BenchmarkServiceThroughput/default-n=5,t=1-4 	     256	   4143520 ns/op	       241.3 sessions/sec	    195000 msgs/sec	       812.0 msgs/play	  513344 B/op	    7042 allocs/op
+PASS
+ok  	asyncmediator	8.093s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("bad header: %+v", s)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(s.Benchmarks))
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "BenchmarkExperimentSweep/workers=1" || b.Iterations != 1 || b.Pkg != "asyncmediator" {
+		t.Fatalf("bad benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 2451599519 {
+		t.Fatalf("bad ns/op: %v", b.Metrics)
+	}
+	svc := s.Benchmarks[2]
+	if svc.Metrics["sessions/sec"] != 241.3 || svc.Metrics["allocs/op"] != 7042 {
+		t.Fatalf("bad multi-metric parse: %+v", svc.Metrics)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkBroken\nBenchmarkAlso broken here\nBenchmarkOK 2 10 ns/op\n"
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("want only the well-formed line: %+v", s.Benchmarks)
+	}
+}

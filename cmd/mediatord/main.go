@@ -15,6 +15,13 @@
 //	curl -s localhost:8080/sessions/s-000001
 //	curl -s localhost:8080/stats
 //
+// The farm also serves the paper's experiment suite through the same
+// worker pool that hosts the plays (the sharded engine of
+// internal/sim, shared with cmd/mediatorsim):
+//
+//	curl -s localhost:8080/experiments                      # catalog e1..e8
+//	curl -s 'localhost:8080/experiments/e1?trials=12&seed=1' # one JSON table
+//
 // Or measure throughput without the HTTP layer:
 //
 //	mediatord -bench 512 -workers 8

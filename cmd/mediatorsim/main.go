@@ -1,15 +1,22 @@
 // Command mediatorsim regenerates the paper-reproduction experiment tables
-// (E1-E8 in DESIGN.md / EXPERIMENTS.md).
+// (E1-E8 in DESIGN.md / EXPERIMENTS.md), sharding each experiment's
+// (params x trial) grid across a worker pool. Output is bit-identical at
+// any parallelism level: -parallel only changes how fast the sweep runs.
 //
 // Usage:
 //
-//	mediatorsim -experiment all            # run everything
-//	mediatorsim -experiment e6 -trials 400 # just the Section 6.4 table
+//	mediatorsim -experiment all                  # run everything, all cores
+//	mediatorsim -experiment e6 -trials 400       # just the Section 6.4 table
+//	mediatorsim -parallel 1                      # serial reference run
+//	mediatorsim -json out.json                   # machine-readable sweep report
+//	mediatorsim -experiment e1,e5 -json -        # JSON only, to stdout
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,18 +24,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mediatorsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mediatorsim", flag.ContinueOnError)
-	exp := fs.String("experiment", "all", "experiment to run: e1..e8 or all")
-	trials := fs.Int("trials", 0, "Monte-Carlo trials per estimate (0 = default)")
-	seed := fs.Int64("seed", 1, "base seed")
+	exp := fs.String("experiment", "all", "comma-separated experiment ids (see list below) or all")
+	trials := fs.Int("trials", 0, "Monte-Carlo trials per estimate (0 = default 100)")
+	seed := fs.Int64("seed", 1, "base seed; trial i of a sweep plays with seed+i")
+	parallel := fs.Int("parallel", 0, "worker count for trial sharding (0 = all cores, 1 = serial)")
+	jsonOut := fs.String("json", "", "also write the sweep report as JSON to this file (\"-\": JSON to stdout, no text tables)")
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "Usage of mediatorsim:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(out, "\nExperiments (ids accepted by -experiment):\n")
+		for _, e := range sim.Catalog() {
+			fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)
+		}
+	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	o := sim.DefaultOptions()
@@ -37,29 +58,37 @@ func run(args []string) error {
 	}
 	o.Seed0 = *seed
 
-	type expFn struct {
-		name string
-		fn   func(sim.Options) (*sim.Table, error)
-	}
-	all := []expFn{
-		{"e1", sim.E1}, {"e2", sim.E2}, {"e3", sim.E3}, {"e4", sim.E4},
-		{"e5", sim.E5}, {"e6", sim.E6}, {"e7", sim.E7}, {"e8", sim.E8},
-	}
-	want := strings.ToLower(*exp)
-	ran := false
-	for _, e := range all {
-		if want != "all" && want != e.name {
-			continue
+	var ids []string
+	for _, id := range strings.Split(strings.ToLower(*exp), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
-		ran = true
-		tab, err := e.fn(o)
+	}
+
+	eng := sim.NewEngine(*parallel)
+	defer eng.Close()
+	rep, err := eng.Sweep(ids, o)
+	if err != nil {
+		return err
+	}
+
+	// The report file lands before the text render, so a consumer piping
+	// the tables through a pager cannot truncate the artifact.
+	if *jsonOut != "" {
+		b, err := rep.JSON()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+			return err
 		}
-		fmt.Println(tab.Render())
+		if *jsonOut == "-" {
+			_, err = stdout.Write(b)
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			return err
+		}
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q (want e1..e8 or all)", *exp)
+	for _, tab := range rep.Tables {
+		fmt.Fprintln(stdout, tab.Render())
 	}
 	return nil
 }

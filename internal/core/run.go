@@ -51,6 +51,28 @@ func Run(cfg RunConfig) (game.Profile, *async.Result, error) {
 	return mediator.ResolveMoves(g, cfg.Types, res, p.Approach), res, nil
 }
 
+// TrialSeed derives the deterministic seed of one trial in a Monte-Carlo
+// sweep: trial i of a sweep anchored at seed0 always plays with seed0+i,
+// whether the trials run serially or sharded across a worker pool.
+func TrialSeed(seed0 int64, trial int) int64 { return seed0 + int64(trial) }
+
+// HonestTrial plays one honest cheap-talk trial and its mediator-game
+// reference at the same seed, the paired sample behind every
+// implementation-distance estimate. It is the unit of work the experiment
+// engine shards across workers; Params and Types are only read, so many
+// trials may share them concurrently.
+func HonestTrial(p Params, types []game.Type, seed int64, maxSteps int) (talk, ideal game.Profile, res *async.Result, err error) {
+	talk, res, err = Run(RunConfig{Params: p, Types: types, Seed: seed, MaxSteps: maxSteps})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ideal, _, err = MediatorReference(p, types, nil, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return talk, ideal, res, nil
+}
+
 // MediatorReference plays the corresponding mediator game once (the ideal
 // world the cheap talk must implement) and returns the resolved profile.
 // The mediator waits for n-k-t complete input sets, mirroring the talk's

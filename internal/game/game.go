@@ -220,6 +220,24 @@ func (o *Outcome) AddWeighted(p Profile, w float64) {
 	o.total += w
 }
 
+// Merge folds another outcome into o. Trial counts are whole numbers, so
+// float64 accumulation is exact and the merged distribution is identical
+// no matter how the trials were partitioned — the property the sharded
+// experiment engine (internal/sim) relies on for bit-identical serial vs
+// parallel tables.
+func (o *Outcome) Merge(other *Outcome) {
+	if other == nil {
+		return
+	}
+	for k, w := range other.counts {
+		o.counts[k] += w
+		if _, ok := o.sample[k]; !ok {
+			o.sample[k] = other.sample[k].Clone()
+		}
+		o.total += w
+	}
+}
+
 // Total returns the accumulated weight.
 func (o *Outcome) Total() float64 { return o.total }
 
@@ -258,15 +276,23 @@ func (o *Outcome) String() string {
 // sum_s |pi(s) - pi'(s)| (Section 2). Implementation corresponds to
 // distance 0; epsilon-implementation bounds it by epsilon.
 func Dist(a, b *Outcome) float64 {
-	keys := make(map[string]bool)
+	// Summation runs in sorted-key order: float addition is not
+	// associative, so a map-order fold would make the low bits of the
+	// distance vary run to run.
+	seen := make(map[string]bool, len(a.counts)+len(b.counts))
+	keys := make([]string, 0, len(a.counts)+len(b.counts))
 	for k := range a.counts {
-		keys[k] = true
+		seen[k] = true
+		keys = append(keys, k)
 	}
 	for k := range b.counts {
-		keys[k] = true
+		if !seen[k] {
+			keys = append(keys, k)
+		}
 	}
+	sort.Strings(keys)
 	d := 0.0
-	for k := range keys {
+	for _, k := range keys {
 		pa, pb := 0.0, 0.0
 		if a.total > 0 {
 			pa = a.counts[k] / a.total
@@ -290,11 +316,17 @@ func (g *Game) ExpectedUtility(types []Type, o *Outcome) []float64 {
 	if o.total == 0 {
 		return out
 	}
-	for k, w := range o.counts {
+	// Deterministic fold: sorted-key order, for the same reason as Dist.
+	keys := make([]string, 0, len(o.counts))
+	for k := range o.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		p := o.sample[k]
 		u := g.Utility(types, p)
 		for i := range out {
-			out[i] += u[i] * w / o.total
+			out[i] += u[i] * o.counts[k] / o.total
 		}
 	}
 	return out

@@ -1,0 +1,108 @@
+// Package pool is the bounded worker pool shared by the session farm
+// (internal/service) and the experiment engine (internal/sim): a fixed
+// set of goroutines draining a fixed-depth job queue. Both subsystems
+// execute their work — farm sessions, experiment trial shards — through
+// this one code path, so concurrency behaviour (queue bounds, drain
+// semantics, worker indexing) is defined exactly once.
+//
+// Each worker carries its index so downstream consumers can shard state
+// per worker (the farm's stats sink keys its lock-free counter shards on
+// it).
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull signals saturation on a non-blocking submit; callers
+// surface backpressure to their clients and may retry after backoff.
+var ErrQueueFull = errors.New("pool: queue full")
+
+// ErrClosed marks a submit to a pool that is draining or drained.
+var ErrClosed = errors.New("pool: closed")
+
+// Job is one unit of work. The argument is the index of the worker
+// executing it, in [0, Workers()).
+type Job func(worker int)
+
+// Pool is a bounded worker pool.
+type Pool struct {
+	jobs    chan Job
+	workers int
+	wg      sync.WaitGroup
+
+	// mu is a reader/writer guard on the closed flag: submitters hold the
+	// read side across their channel send so Close (the writer) cannot
+	// close the job channel underneath an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts `workers` goroutines with a queue of depth `queue`.
+// Non-positive arguments are clamped to 1.
+func New(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{jobs: make(chan Job, queue), workers: workers}
+	for w := 0; w < workers; w++ {
+		w := w
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j(w)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// TrySubmit enqueues a job without blocking. It returns ErrQueueFull when
+// the queue is at capacity (saturation: the caller owns backoff) and
+// ErrClosed after Close.
+func (p *Pool) TrySubmit(j Job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return fmt.Errorf("%w (%d jobs pending)", ErrQueueFull, cap(p.jobs))
+	}
+}
+
+// Submit enqueues a job, blocking while the queue is full. It only errors
+// (ErrClosed) once the pool is shut down.
+func (p *Pool) Submit(j Job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.jobs <- j
+	return nil
+}
+
+// Close stops intake and waits for queued and in-flight jobs to finish —
+// the drain half of graceful shutdown. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

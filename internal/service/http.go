@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"asyncmediator/internal/game"
+	"asyncmediator/internal/sim"
 )
 
 // ErrNotFound marks a lookup of an unknown session id.
@@ -46,6 +48,10 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 //	POST /sessions             create a session (body: Spec)
 //	GET  /sessions/{id}        session snapshot
 //	POST /sessions/{id}/types  submit the realized type profile and run
+//	GET  /experiments          catalog of the paper's experiments (e1..e8)
+//	GET  /experiments/{id}     run one experiment through the farm's pool
+//	                           (?trials=&seed=&maxsteps=), returning its
+//	                           JSON table
 //	GET  /stats                farm-wide aggregate statistics
 //	GET  /healthz              liveness
 func (s *Service) Handler() http.Handler {
@@ -102,6 +108,39 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusAccepted, createResponse{ID: sess.ID, State: sess.stateNow(), Seed: sess.Seed()})
 	})
 
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Catalog()})
+	})
+
+	mux.HandleFunc("GET /experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		o := sim.QuickOptions()
+		var err error
+		if o.Trials, err = queryInt(r, "trials", o.Trials); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if o.MaxSteps, err = queryInt(r, "maxsteps", o.MaxSteps); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		// Seeds are any int64 (zero and negatives included), unlike the
+		// count parameters above.
+		if raw := r.URL.Query().Get("seed"); raw != "" {
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad seed=%q (want an integer)", raw))
+				return
+			}
+			o.Seed0 = v
+		}
+		tab, err := s.Experiments(r.PathValue("id"), o)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tab)
+	})
+
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -111,6 +150,19 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// queryInt parses an optional integer query parameter, bounded below by 1.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("service: bad %s=%q (want a positive integer)", key, raw)
+	}
+	return v, nil
 }
 
 // decodeBody strictly decodes a JSON body into v.

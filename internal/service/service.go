@@ -19,7 +19,14 @@ import (
 
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/game"
+	"asyncmediator/internal/pool"
+	"asyncmediator/internal/sim"
 )
+
+// ErrQueueFull signals farm saturation; clients should back off and retry.
+// It is the shared worker pool's sentinel: the farm and the experiment
+// engine run on the same pool implementation.
+var ErrQueueFull = pool.ErrQueueFull
 
 // Config tunes the farm.
 type Config struct {
@@ -53,15 +60,17 @@ func (c *Config) normalize() {
 
 // Service is the session farm.
 type Service struct {
-	cfg   Config
-	reg   *Registry
-	pool  *Pool
-	sink  *Sink
-	start time.Time
+	cfg    Config
+	reg    *Registry
+	pool   *pool.Pool
+	engine *sim.Engine
+	sink   *Sink
+	start  time.Time
 }
 
 // New starts a farm: workers are live and accepting sessions when it
-// returns.
+// returns. Experiment sweeps (GET /experiments/{id}) share the same
+// worker pool as hosted plays.
 func New(cfg Config) *Service {
 	cfg.normalize()
 	s := &Service{
@@ -70,7 +79,8 @@ func New(cfg Config) *Service {
 		sink:  NewSink(cfg.Workers),
 		start: time.Now(),
 	}
-	s.pool = NewPool(cfg.Workers, cfg.QueueDepth, s.exec)
+	s.pool = pool.New(cfg.Workers, cfg.QueueDepth)
+	s.engine = sim.EngineOn(s.pool)
 	return s
 }
 
@@ -94,11 +104,18 @@ func (s *Service) SubmitTypes(id string, types []game.Type) (*Session, error) {
 	if err := sess.SubmitTypes(types); err != nil {
 		return nil, err
 	}
-	if err := s.pool.Submit(sess); err != nil {
+	if err := s.pool.TrySubmit(func(worker int) { s.exec(worker, sess) }); err != nil {
 		sess.rollback() // the client may resubmit after backoff
 		return nil, err
 	}
 	return sess, nil
+}
+
+// Experiments runs one experiment table through the farm's worker pool —
+// the same sharded engine cmd/mediatorsim uses, competing for the same
+// workers as hosted plays.
+func (s *Service) Experiments(id string, o sim.Options) (*sim.Table, error) {
+	return s.engine.Run(id, o)
 }
 
 // exec runs one session on its backend and folds the outcome into the

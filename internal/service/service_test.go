@@ -125,29 +125,38 @@ func TestSessionDeterministicReplay(t *testing.T) {
 	}
 }
 
-func TestPoolBackpressure(t *testing.T) {
+func TestFarmBackpressureSurfacesQueueFull(t *testing.T) {
+	// A farm whose single worker is wedged and whose queue holds one
+	// session must reject the third submission with ErrQueueFull and roll
+	// the session back so the client can resubmit after backoff.
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	defer svc.Close()
 	block := make(chan struct{})
+	defer close(block)
 	started := make(chan struct{})
-	p := NewPool(1, 1, func(w int, s *Session) {
+	if err := svc.pool.TrySubmit(func(int) {
 		started <- struct{}{}
 		<-block
-	})
-	mk := func() *Session { return &Session{done: make(chan struct{})} }
-	if err := p.Submit(mk()); err != nil {
+	}); err != nil {
 		t.Fatal(err)
 	}
 	<-started // worker busy; queue empty
-	if err := p.Submit(mk()); err != nil {
+	fill, err := svc.CreateSession(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SubmitTypes(fill.ID, make([]game.Type, 5)); err != nil {
 		t.Fatal(err) // fills the queue
 	}
-	if err := p.Submit(mk()); !errors.Is(err, ErrQueueFull) {
+	sess, err := svc.CreateSession(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.SubmitTypes(sess.ID, make([]game.Type, 5)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
-	close(block)
-	<-started // second job starts after the first unblocks
-	p.Close()
-	if err := p.Submit(mk()); err == nil {
-		t.Fatal("submit after close accepted")
+	if st := sess.stateNow(); st != StateAwaitingTypes {
+		t.Fatalf("rejected session not rolled back: %s", st)
 	}
 }
 

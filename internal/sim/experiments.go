@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"asyncmediator/internal/adversary"
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/core"
@@ -15,37 +17,6 @@ func buildParams(n, k, t int, v core.Variant) (core.Params, error) {
 	return core.Section64Params(n, k, t, v)
 }
 
-// honestStats runs `trials` honest cheap-talk plays and the mediator
-// reference, returning the unanimity rate, the implementation distance
-// and the mean utility of player 0.
-func honestStats(p core.Params, o Options) (unanimity, dist, value float64, msgs int, err error) {
-	n := p.Game.N
-	types := make([]game.Type, n)
-	ct := game.NewOutcome()
-	md := game.NewOutcome()
-	unan := 0
-	totalMsgs := 0
-	for s := 0; s < o.Trials; s++ {
-		seed := o.Seed0 + int64(s)
-		prof, res, rerr := core.Run(core.RunConfig{Params: p, Types: types, Seed: seed, MaxSteps: o.MaxSteps})
-		if rerr != nil {
-			return 0, 0, 0, 0, rerr
-		}
-		ct.Add(prof)
-		totalMsgs += res.Stats.MessagesSent
-		if isUnanimous(prof) {
-			unan++
-		}
-		mprof, _, merr := core.MediatorReference(p, types, nil, seed)
-		if merr != nil {
-			return 0, 0, 0, 0, merr
-		}
-		md.Add(mprof)
-	}
-	u := p.Game.ExpectedUtility(types, ct)
-	return float64(unan) / float64(o.Trials), game.Dist(ct, md), u[0], totalMsgs / o.Trials, nil
-}
-
 func isUnanimous(p game.Profile) bool {
 	for _, a := range p {
 		if a != p[0] || a == game.NoMove {
@@ -55,32 +26,13 @@ func isUnanimous(p game.Profile) bool {
 	return true
 }
 
-// deviationValue runs trials with the override processes installed and
-// returns the mean utility of `observer` (a coalition member).
-func deviationValue(p core.Params, o Options, observer int,
-	mkOverride func(seed int64) (map[int]async.Process, error)) (float64, error) {
-	n := p.Game.N
-	types := make([]game.Type, n)
-	out := game.NewOutcome()
-	for s := 0; s < o.Trials; s++ {
-		seed := o.Seed0 + int64(s)
-		ov, err := mkOverride(seed)
-		if err != nil {
-			return 0, err
-		}
-		prof, _, err := core.Run(core.RunConfig{Params: p, Types: types, Seed: seed, Override: ov, MaxSteps: o.MaxSteps})
-		if err != nil {
-			return 0, err
-		}
-		out.Add(prof)
-	}
-	u := p.Game.ExpectedUtility(types, out)
-	return u[observer], nil
-}
+// cellKey names one grid point for error reporting.
+func cellKey(k, t, n int) string { return fmt.Sprintf("k=%d,t=%d,n=%d", k, t, n) }
 
 // boundExperiment produces one theorem's table: rows at the bound and one
-// above, plus a rejected row below the bound.
-func boundExperiment(title string, v core.Variant, grids [][2]int, o Options) (*Table, error) {
+// above, plus a rejected row below the bound. A cell that fails mid-trial
+// is reported in the table's Errors and the sweep continues.
+func (e *Engine) boundExperiment(title string, v core.Variant, grids [][2]int, o Options) (*Table, error) {
 	t := &Table{
 		Title:  title,
 		Header: []string{"k", "t", "n", "status", "unanimity", "impl-dist", "value", "mute-dev value", "corrupt-dev value", "msgs/run"},
@@ -94,18 +46,20 @@ func boundExperiment(title string, v core.Variant, grids [][2]int, o Options) (*
 			}
 			p, err := buildParams(n, k, tf, v)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			if err := p.Validate(); err != nil {
 				t.AddRow(k, tf, n, "below bound: rejected", "-", "-", "-", "-", "-", "-")
 				continue
 			}
-			unan, dist, val, msgs, err := honestStats(p, o)
+			unan, dist, val, msgs, err := e.honestStats(p, o)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			// Deviation 1: a coalition player goes silent mid-protocol.
-			muteVal, err := deviationValue(p, o, deviatorIndex(n), func(seed int64) (map[int]async.Process, error) {
+			muteVal, err := e.deviationValue(p, o, deviatorIndex(n), func(seed int64) (map[int]async.Process, error) {
 				hp, err := core.NewPlayer(p, deviatorIndex(n), 0)
 				if err != nil {
 					return nil, err
@@ -113,10 +67,11 @@ func boundExperiment(title string, v core.Variant, grids [][2]int, o Options) (*
 				return map[int]async.Process{deviatorIndex(n): adversary.MuteAfter(hp, 12)}, nil
 			})
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			// Deviation 2: corrupt opening shares.
-			corVal, err := deviationValue(p, o, deviatorIndex(n), func(seed int64) (map[int]async.Process, error) {
+			corVal, err := e.deviationValue(p, o, deviatorIndex(n), func(seed int64) (map[int]async.Process, error) {
 				hp, err := core.NewPlayer(p, deviatorIndex(n), 0)
 				if err != nil {
 					return nil, err
@@ -124,7 +79,8 @@ func boundExperiment(title string, v core.Variant, grids [][2]int, o Options) (*
 				return map[int]async.Process{deviatorIndex(n): adversary.CorruptOpens(hp, 5)}, nil
 			})
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			t.AddRow(k, tf, n, "ok", unan, dist, val, muteVal, corVal, msgs)
 		}
@@ -167,21 +123,28 @@ func maxInt(a, b int) int {
 }
 
 // E1 regenerates Theorem 4.1's claim: exact implementation and robustness
-// at n > 4k+4t, rejection below.
-func E1(o Options) (*Table, error) {
-	return boundExperiment("E1: Theorem 4.1 (exact, no punishment; n > 4k+4t)",
+// at n > 4k+4t, rejection below. (Serial compatibility wrapper; sharded
+// sweeps go through Engine.Run.)
+func E1(o Options) (*Table, error) { return runSerial("e1", o) }
+
+func (e *Engine) e1(o Options) (*Table, error) {
+	return e.boundExperiment("E1: Theorem 4.1 (exact, no punishment; n > 4k+4t)",
 		core.Exact41, [][2]int{{1, 0}, {0, 1}}, o)
 }
 
 // E2 regenerates Theorem 4.2's claim at n > 3k+3t with epsilon error.
-func E2(o Options) (*Table, error) {
-	return boundExperiment("E2: Theorem 4.2 (epsilon, no punishment; n > 3k+3t)",
+func E2(o Options) (*Table, error) { return runSerial("e2", o) }
+
+func (e *Engine) e2(o Options) (*Table, error) {
+	return e.boundExperiment("E2: Theorem 4.2 (epsilon, no punishment; n > 3k+3t)",
 		core.Epsilon42, [][2]int{{1, 0}, {0, 1}}, o)
 }
 
 // E3 regenerates Theorem 4.4: punishment wills make stalling unprofitable
 // at n > 3k+4t, and the weak implementation's O(n) mediator messages.
-func E3(o Options) (*Table, error) {
+func E3(o Options) (*Table, error) { return runSerial("e3", o) }
+
+func (e *Engine) e3(o Options) (*Table, error) {
 	t := &Table{
 		Title:  "E3: Theorem 4.4 (exact with (k+t)-punishment, AH wills; n > 3k+4t)",
 		Header: []string{"k", "t", "n", "status", "honest value", "stall-dev value", "punished?", "msgs/run"},
@@ -195,24 +158,27 @@ func E3(o Options) (*Table, error) {
 			}
 			p, err := buildParams(n, k, tf, core.Punish44)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			if err := p.Validate(); err != nil {
 				t.AddRow(k, tf, n, "below bound: rejected", "-", "-", "-", "-")
 				continue
 			}
-			_, _, val, msgs, err := honestStats(p, o)
+			_, _, val, msgs, err := e.honestStats(p, o)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			// The key mechanism: the WHOLE coalition (k rational + t
 			// malicious players) stalls mid-protocol. That exceeds the
 			// fault budget t, so the talk deadlocks; everyone's will is
 			// the punishment; the coalition ends up strictly worse off.
 			// (A stall by only t players is tolerated outright.)
-			stallVal, err := deviationValue(p, o, deviatorIndex(n), muteCoalition(p, k+tf))
+			stallVal, err := e.deviationValue(p, o, deviatorIndex(n), muteCoalition(p, k+tf))
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			punished := "no"
 			if stallVal < val-0.05 {
@@ -227,7 +193,9 @@ func E3(o Options) (*Table, error) {
 }
 
 // E4 regenerates Theorem 4.5 at n > 2k+3t.
-func E4(o Options) (*Table, error) {
+func E4(o Options) (*Table, error) { return runSerial("e4", o) }
+
+func (e *Engine) e4(o Options) (*Table, error) {
 	t := &Table{
 		Title:  "E4: Theorem 4.5 (epsilon with (2k+2t)-punishment, AH wills; n > 2k+3t)",
 		Header: []string{"k", "t", "n", "status", "unanimity", "impl-dist", "honest value", "stall-dev value", "punished?"},
@@ -241,19 +209,22 @@ func E4(o Options) (*Table, error) {
 			}
 			p, err := buildParams(n, k, tf, core.Punish45)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			if err := p.Validate(); err != nil {
 				t.AddRow(k, tf, n, "below bound: rejected", "-", "-", "-", "-", "-")
 				continue
 			}
-			unan, dist, val, _, err := honestStats(p, o)
+			unan, dist, val, _, err := e.honestStats(p, o)
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
-			stallVal, err := deviationValue(p, o, deviatorIndex(n), muteCoalition(p, k+tf))
+			stallVal, err := e.deviationValue(p, o, deviatorIndex(n), muteCoalition(p, k+tf))
 			if err != nil {
-				return nil, err
+				t.AddError(cellKey(k, tf, n), err, k, tf, n)
+				continue
 			}
 			punished := "no"
 			if stallVal < val-0.05 {
@@ -268,7 +239,9 @@ func E4(o Options) (*Table, error) {
 // E5 measures the O(nNc) message-complexity shape: cheap-talk messages as
 // a function of n (players), c (random-bit gates), and the mediator-game
 // message count as a function of R (canonical rounds, the paper's N).
-func E5(o Options) (*Table, error) {
+func E5(o Options) (*Table, error) { return runSerial("e5", o) }
+
+func (e *Engine) e5(o Options) (*Table, error) {
 	t := &Table{
 		Title:  "E5: message complexity O(nNc)",
 		Header: []string{"sweep", "x", "msgs/run"},
@@ -277,14 +250,16 @@ func E5(o Options) (*Table, error) {
 	for _, n := range []int{4, 5, 6, 7} {
 		p, err := buildParams(n, 1, 0, core.Epsilon42)
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("n=%d", n), err, "n (c=1 bit)", n)
+			continue
 		}
 		if p.Validate() != nil {
 			continue
 		}
-		_, _, _, msgs, err := honestStats(p, Options{Trials: 3, Seed0: o.Seed0, MaxSteps: o.MaxSteps})
+		_, _, _, msgs, err := e.honestStats(p, Options{Trials: 3, Seed0: o.Seed0, MaxSteps: o.MaxSteps})
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("n=%d", n), err, "n (c=1 bit)", n)
+			continue
 		}
 		t.AddRow("n (c=1 bit)", n, msgs)
 	}
@@ -293,16 +268,19 @@ func E5(o Options) (*Table, error) {
 	for _, bits := range []int{1, 2, 3} {
 		p, err := buildParams(5, 1, 0, core.Exact41)
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("bits=%d", bits), err, "c (randbits, n=5)", bits)
+			continue
 		}
 		circ, err := multiBitCircuit(5, bits)
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("bits=%d", bits), err, "c (randbits, n=5)", bits)
+			continue
 		}
 		p.Circuit = circ
-		_, _, _, msgs, err := honestStats(p, Options{Trials: 3, Seed0: o.Seed0, MaxSteps: o.MaxSteps})
+		_, _, _, msgs, err := e.honestStats(p, Options{Trials: 3, Seed0: o.Seed0, MaxSteps: o.MaxSteps})
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("bits=%d", bits), err, "c (randbits, n=5)", bits)
+			continue
 		}
 		t.AddRow("c (randbits, n=5)", bits, msgs)
 	}
@@ -321,7 +299,8 @@ func E5(o Options) (*Table, error) {
 			Approach: game.ApproachAH, Rounds: rounds, Seed: o.Seed0,
 		})
 		if err != nil {
-			return nil, err
+			t.AddError(fmt.Sprintf("R=%d", rounds), err, "R (mediator rounds, n=4)", rounds)
+			continue
 		}
 		t.AddRow("R (mediator rounds, n=4)", rounds, res.Stats.MessagesSent)
 	}
@@ -338,7 +317,9 @@ func multiBitCircuit(n, bits int) (*circuitT, error) {
 // E6 reproduces the Section 6.4 counterexample: the leaky mediator loses
 // 0.05 of equilibrium value to the coalition; the minimally informative
 // mediator restores it.
-func E6(o Options) (*Table, error) {
+func E6(o Options) (*Table, error) { return runSerial("e6", o) }
+
+func (e *Engine) e6(o Options) (*Table, error) {
 	t := &Table{
 		Title:  "E6: Section 6.4 — naive mediator vs minimally informative (n=4, k=1)",
 		Header: []string{"mediator", "coalition value", "paper"},
@@ -349,24 +330,22 @@ func E6(o Options) (*Table, error) {
 		return nil, err
 	}
 	trials := maxInt(o.Trials, 100) * 4 // the estimate needs resolution
-	leaky := 0.0
-	for s := 0; s < trials; s++ {
-		v, err := runSection64(g, n, k, true, o.Seed0+int64(s))
-		if err != nil {
-			return nil, err
-		}
-		leaky += v
+	leaky, err := e.meanValue(trials, func(s int) (float64, error) {
+		return runSection64(g, n, k, true, core.TrialSeed(o.Seed0, s))
+	})
+	if err != nil {
+		t.AddError("leaky", err, "leaky (sends a+b*i hints)")
+	} else {
+		t.AddRow("leaky (sends a+b*i hints)", leaky, "1.55")
 	}
-	fixed := 0.0
-	for s := 0; s < trials; s++ {
-		v, err := runSection64(g, n, k, false, o.Seed0+int64(s))
-		if err != nil {
-			return nil, err
-		}
-		fixed += v
+	fixed, err := e.meanValue(trials, func(s int) (float64, error) {
+		return runSection64(g, n, k, false, core.TrialSeed(o.Seed0, s))
+	})
+	if err != nil {
+		t.AddError("fixed", err, "minimally informative f(sigma_d)")
+	} else {
+		t.AddRow("minimally informative f(sigma_d)", fixed, "1.50")
 	}
-	t.AddRow("leaky (sends a+b*i hints)", leaky/float64(trials), "1.55")
-	t.AddRow("minimally informative f(sigma_d)", fixed/float64(trials), "1.50")
 	t.Notes = append(t.Notes,
 		"equilibrium value 1.5; the leaky mediator lets the coalition+scheduler force the punishment exactly when b=0")
 	return t, nil

@@ -13,42 +13,58 @@ import (
 
 // E8 measures the substrate protocols' message costs and, for Byzantine
 // agreement, the shared-coin vs local-coin ablation.
-func E8(o Options) (*Table, error) {
+func E8(o Options) (*Table, error) { return runSerial("e8", o) }
+
+// substrateCell is one grid point of E8: a protocol at a system size.
+type substrateCell struct {
+	label string
+	n     int
+	run   func(n, tf int, seed int64) (msgs, steps int, err error)
+}
+
+func (e *Engine) e8(o Options) (*Table, error) {
 	t := &Table{
 		Title:  "E8: substrate ablation (messages per instance)",
 		Header: []string{"protocol", "n", "t", "msgs", "steps"},
 	}
+	var cells []substrateCell
 	for _, n := range []int{4, 7, 10} {
-		tf := (n - 1) / 3
-		msgs, steps, err := runRBC(n, tf, o.Seed0)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("rbc", n, tf, msgs, steps)
+		cells = append(cells, substrateCell{"rbc", n, runRBC})
 	}
 	for _, n := range []int{4, 7, 10} {
-		tf := (n - 1) / 3
-		msgs, steps, err := runBA(n, tf, o.Seed0, true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("ba (shared coin)", n, tf, msgs, steps)
+		cells = append(cells, substrateCell{"ba (shared coin)", n,
+			func(n, tf int, seed int64) (int, int, error) { return runBA(n, tf, seed, true) }})
 	}
 	for _, n := range []int{4, 7} {
-		tf := (n - 1) / 3
-		msgs, steps, err := runBA(n, tf, o.Seed0, false)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("ba (local coin)", n, tf, msgs, steps)
+		cells = append(cells, substrateCell{"ba (local coin)", n,
+			func(n, tf int, seed int64) (int, int, error) { return runBA(n, tf, seed, false) }})
 	}
 	for _, n := range []int{4, 7} {
-		tf := (n - 1) / 3
-		msgs, steps, err := runACS(n, tf, o.Seed0)
-		if err != nil {
-			return nil, err
+		cells = append(cells, substrateCell{"acs", n, runACS})
+	}
+	// E8's grid axis is the cells themselves (one deterministic run each),
+	// so the shard span is 1: every cell is its own pool job. Results land
+	// in per-cell slots and rows are appended in cell order.
+	type cellResult struct {
+		msgs, steps int
+		err         error
+	}
+	results := make([]cellResult, len(cells))
+	e.forSpans(len(cells), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := cells[i]
+			tf := (c.n - 1) / 3
+			r := &results[i]
+			r.msgs, r.steps, r.err = c.run(c.n, tf, o.Seed0)
 		}
-		t.AddRow("acs", n, tf, msgs, steps)
+	})
+	for i, c := range cells {
+		tf := (c.n - 1) / 3
+		if results[i].err != nil {
+			t.AddError(fmt.Sprintf("%s,n=%d", c.label, c.n), results[i].err, c.label, c.n, tf)
+			continue
+		}
+		t.AddRow(c.label, c.n, tf, results[i].msgs, results[i].steps)
 	}
 	t.Notes = append(t.Notes,
 		"rbc is O(n^2); ba with a shared coin finishes in O(1) expected rounds; local coins are slower",
