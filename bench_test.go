@@ -189,21 +189,32 @@ func BenchmarkExperimentSweep(b *testing.B) {
 // b.N plays pushed through the bounded worker pool, reported as
 // sessions/sec and msgs/sec. This is the serving-layer number of the perf
 // trajectory — how many concurrent mediator-free plays one process hosts.
+// The "persist" variants run the same workload with the durable store
+// (WAL + eviction) enabled; the acceptance line is a < 15% sessions/sec
+// regression against the matching in-memory case.
 func BenchmarkServiceThroughput(b *testing.B) {
 	cases := []struct {
-		name string
-		spec service.Spec
+		name    string
+		spec    service.Spec
+		persist bool
 	}{
 		// The default serving configuration: Theorem 4.1's n > 4t with
 		// k=0, t=1 (the asynchronous service-free regime).
-		{"default-n=5,t=1", service.Spec{}},
+		{"default-n=5,t=1", service.Spec{}, false},
+		{"default-n=5,t=1-persist", service.Spec{}, true},
 		// The cheapest hosted play: Theorem 4.2 at its bound n=4.
-		{"epsilon-n=4,k=1", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}},
+		{"epsilon-n=4,k=1", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, false},
+		{"epsilon-n=4,k=1-persist", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, true},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
-			res, err := service.Bench(service.BenchConfig{Sessions: b.N, Spec: c.spec})
+			cfg := service.BenchConfig{Sessions: b.N, Spec: c.spec}
+			if c.persist {
+				cfg.DataDir = b.TempDir()
+				cfg.MaxLiveSessions = 256
+			}
+			res, err := service.Bench(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

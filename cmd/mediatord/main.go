@@ -4,23 +4,28 @@
 // mediator is replaced by a protocol, and this daemon is where thousands
 // of such protocol sessions run side by side.
 //
-// Start the daemon:
+// Start the daemon (durable: sessions survive restarts in -data-dir):
 //
-//	mediatord -addr :8080 -workers 8
+//	mediatord -addr :8080 -workers 8 -data-dir /var/lib/mediatord -max-live-sessions 4096
 //
 // Drive it:
 //
 //	curl -s -X POST localhost:8080/sessions -d '{"n":5,"t":1,"variant":"4.1"}'
 //	curl -s -X POST localhost:8080/sessions/s-000001/types -d '{"types":[0,0,0,0,0]}'
-//	curl -s localhost:8080/sessions/s-000001
+//	curl -s 'localhost:8080/sessions/s-000001?wait=30s'   # long-poll to terminal
+//	curl -s 'localhost:8080/sessions?state=done&limit=20' # paginate, memory + store
+//	curl -sN localhost:8080/events                        # SSE state transitions
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics                        # Prometheus text format
 //
 // The farm also serves the paper's experiment suite through the same
 // worker pool that hosts the plays (the sharded engine of
 // internal/sim, shared with cmd/mediatorsim):
 //
 //	curl -s localhost:8080/experiments                      # catalog e1..e8
-//	curl -s 'localhost:8080/experiments/e1?trials=12&seed=1' # one JSON table
+//	curl -s 'localhost:8080/experiments/e1?trials=12&seed=1' # one JSON table, sync
+//	curl -s -X POST localhost:8080/experiments -d '{"experiment":"e1","trials":50}'
+//	curl -s 'localhost:8080/experiments/x-000001?wait=30s'   # poll the async job
 //
 // Or measure throughput without the HTTP layer:
 //
@@ -58,6 +63,9 @@ func run(args []string) error {
 	queue := fs.Int("queue", 0, "session queue depth (0: default 1024)")
 	seed := fs.Int64("seed", 1, "base seed for derived per-session seeds")
 	maxN := fs.Int("maxn", 0, "largest per-session player count (0: default 64)")
+	dataDir := fs.String("data-dir", "", "durable store directory; terminal sessions and experiment jobs survive restarts (empty: in-memory only)")
+	maxLive := fs.Int("max-live-sessions", 0, "bound on in-memory sessions; terminal sessions beyond it evict to the store (0: unlimited)")
+	snapEvery := fs.Int("snapshot-every", 0, "WAL records between compacted store snapshots (0: store default)")
 	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
 	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
 	benchN := fs.Int("bench-n", 5, "benchmark players per session")
@@ -87,16 +95,26 @@ func run(args []string) error {
 		return nil
 	}
 
-	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		BaseSeed:   *seed,
-		MaxN:       *maxN,
+	svc, err := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		BaseSeed:        *seed,
+		MaxN:            *maxN,
+		DataDir:         *dataDir,
+		MaxLiveSessions: *maxLive,
+		SnapshotEvery:   *snapEvery,
 	})
+	if err != nil {
+		return err
+	}
+	if rec, ok := svc.StoreRecovery(); ok {
+		log.Printf("mediatord: recovered %d sessions from %s (%d snapshot + %d wal records, %d torn bytes discarded)",
+			svc.Stats().SessionsCreated, *dataDir, rec.SnapshotRecords, rec.WALRecords, rec.TornBytes)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	log.Printf("mediatord: serving session farm on %s", *addr)
-	err := svc.ListenAndServe(ctx, *addr)
+	err = svc.ListenAndServe(ctx, *addr)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

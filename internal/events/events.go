@@ -1,0 +1,159 @@
+// Package events is the farm's fan-out event bus: session and experiment
+// state transitions are published once and delivered to every subscriber,
+// replacing client poll loops with push (the HTTP layer exposes the bus as
+// GET /events server-sent events and per-session long-poll).
+//
+// Delivery is at-most-once per subscriber with a bounded buffer: a slow
+// consumer never blocks the publisher (the farm's workers). When a
+// subscriber's buffer is full the oldest buffered event is dropped to make
+// room, and the drop is counted; consumers detect gaps by the monotone
+// Seq stamped on every published event.
+package events
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one state transition. Kind scopes the ID namespace ("session",
+// "experiment"); Data optionally carries the terminal snapshot so a
+// subscriber needs no follow-up GET.
+type Event struct {
+	// Seq is the bus-wide monotone sequence number, assigned by Publish.
+	Seq int64 `json:"seq"`
+	// Kind is the subject namespace: "session" or "experiment".
+	Kind string `json:"kind"`
+	// ID names the subject (session or experiment-job id).
+	ID string `json:"id"`
+	// State is the lifecycle state entered.
+	State string `json:"state"`
+	// Terminal marks the subject's final transition.
+	Terminal bool `json:"terminal,omitempty"`
+	// Data optionally carries the subject's snapshot (terminal events).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Bus fans events out to subscribers. The zero value is not usable; call
+// NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	seq    int64
+	subs   map[*Sub]struct{}
+	closed bool
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Sub]struct{})}
+}
+
+// Sub is one subscription. Receive from C; the channel closes when the
+// subscription is cancelled or the bus shuts down.
+type Sub struct {
+	// C delivers events in publish order (with possible gaps under
+	// overflow — see Dropped).
+	C <-chan Event
+
+	c       chan Event
+	bus     *Bus
+	dropped int64
+}
+
+// Subscribe registers a subscriber with the given buffer depth (<=0: 64).
+// Subscribing to a closed bus returns an already-closed subscription.
+func (b *Bus) Subscribe(buf int) *Sub {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Sub{c: make(chan Event, buf), bus: b}
+	s.C = s.c
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.c)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Cancel removes the subscription and closes its channel. Idempotent.
+func (s *Sub) Cancel() {
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; ok {
+		delete(b.subs, s)
+		close(s.c)
+	}
+}
+
+// Dropped returns how many events this subscription lost to overflow.
+func (s *Sub) Dropped() int64 {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.dropped
+}
+
+// Publish stamps the event with the next sequence number and delivers it
+// to every subscriber without blocking: a full subscriber sheds its oldest
+// buffered event. It returns the assigned sequence number (0 if the bus is
+// closed).
+func (b *Bus) Publish(e Event) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	b.seq++
+	e.Seq = b.seq
+	for s := range b.subs {
+		select {
+		case s.c <- e:
+			continue
+		default:
+		}
+		// Full buffer: drop the oldest so the newest state is what a lagging
+		// consumer sees first when it catches up.
+		select {
+		case <-s.c:
+			s.dropped++
+		default:
+		}
+		select {
+		case s.c <- e:
+		default:
+			s.dropped++ // only possible if buf is pathological (<1)
+		}
+	}
+	return e.Seq
+}
+
+// Seq returns the last assigned sequence number.
+func (b *Bus) Seq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close shuts the bus down: every subscription channel closes and further
+// publishes are dropped. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		close(s.c)
+		delete(b.subs, s)
+	}
+}

@@ -20,6 +20,12 @@ type BenchConfig struct {
 	Spec Spec
 	// BaseSeed anchors the per-session seeds (default 1).
 	BaseSeed int64
+	// DataDir enables the durable store for the measured farm, so the
+	// persistence overhead lands in the same numbers as the in-memory
+	// baseline (the <15% acceptance line).
+	DataDir string
+	// MaxLiveSessions bounds the measured farm's in-memory cache.
+	MaxLiveSessions int
 }
 
 // BenchResult is the measured throughput.
@@ -43,11 +49,16 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 1
 	}
-	svc := New(Config{
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.Sessions + 1,
-		BaseSeed:   cfg.BaseSeed,
+	svc, err := New(Config{
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.Sessions + 1,
+		BaseSeed:        cfg.BaseSeed,
+		DataDir:         cfg.DataDir,
+		MaxLiveSessions: cfg.MaxLiveSessions,
 	})
+	if err != nil {
+		return nil, err
+	}
 	defer svc.Close() // idempotent; also covers the error returns below
 	spec := cfg.Spec
 	spec.Seed = nil

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"asyncmediator/internal/game"
@@ -16,16 +17,29 @@ import (
 // ErrNotFound marks a lookup of an unknown session id.
 var ErrNotFound = errors.New("service: no such session")
 
+// maxWait caps the long-poll hold time.
+const maxWait = 60 * time.Second
+
 // typesRequest is the body of POST /sessions/{id}/types.
 type typesRequest struct {
 	Types []int `json:"types"`
 }
 
-// createResponse is the body returned by POST /sessions.
+// createResponse is the body returned by POST /sessions and POST
+// /experiments.
 type createResponse struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
-	Seed  int64  `json:"seed"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// listResponse is the body of GET /sessions: one page plus the total match
+// count so clients can walk the collection.
+type listResponse struct {
+	Total    int    `json:"total"`
+	Offset   int    `json:"offset"`
+	Limit    int    `json:"limit"`
+	Sessions []View `json:"sessions"`
 }
 
 // errorResponse is every error body.
@@ -46,13 +60,22 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // Handler returns the farm's HTTP/JSON API:
 //
 //	POST /sessions             create a session (body: Spec)
-//	GET  /sessions/{id}        session snapshot
+//	GET  /sessions             page sessions across memory + store
+//	                           (?state=done&offset=0&limit=50)
+//	GET  /sessions/{id}        session snapshot; ?wait=30s long-polls
+//	                           until the session is terminal
 //	POST /sessions/{id}/types  submit the realized type profile and run
+//	GET  /events               server-sent event stream of session and
+//	                           experiment state transitions
+//	                           (?session=s-000001 or ?kind=experiment)
 //	GET  /experiments          catalog of the paper's experiments (e1..e8)
-//	GET  /experiments/{id}     run one experiment through the farm's pool
-//	                           (?trials=&seed=&maxsteps=), returning its
-//	                           JSON table
+//	POST /experiments          create a persisted async experiment job
+//	                           (body: ExpRequest), runs on the shared pool
+//	GET  /experiments/{id}     job snapshot for x-… ids (?wait= long-poll);
+//	                           catalog ids (e1..e8) run synchronously
+//	                           (?trials=&seed=&maxsteps=) as before
 //	GET  /stats                farm-wide aggregate statistics
+//	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -71,13 +94,49 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID, State: StateAwaitingTypes, Seed: sess.Seed()})
 	})
 
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		sess, ok := s.Session(r.PathValue("id"))
-		if !ok {
-			writeErr(w, http.StatusNotFound, ErrNotFound)
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		state := r.URL.Query().Get("state")
+		if state != "" && !knownState(state) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: unknown state %q", state))
 			return
 		}
-		writeJSON(w, http.StatusOK, sess.Snapshot())
+		offset, err := queryBoundedInt(r, "offset", 0, 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		limit, err := queryBoundedInt(r, "limit", 50, 1)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if limit > 1000 {
+			limit = 1000
+		}
+		total, page := s.ListSessions(state, offset, limit)
+		writeJSON(w, http.StatusOK, listResponse{Total: total, Offset: offset, Limit: limit, Sessions: page})
+	})
+
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		wait, err := parseWait(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		id := r.PathValue("id")
+		if sess, ok := s.Session(id); ok {
+			if wait > 0 && !sess.stateNow().Terminal() {
+				s.waitOn(r.Context(), sess.Done(), wait)
+			}
+			writeJSON(w, http.StatusOK, sess.Snapshot())
+			return
+		}
+		// Evicted terminal sessions live on in the store.
+		if v, ok := s.Lookup(id); ok {
+			writeJSON(w, http.StatusOK, v)
+			return
+		}
+		writeErr(w, http.StatusNotFound, ErrNotFound)
 	})
 
 	mux.HandleFunc("POST /sessions/{id}/types", func(w http.ResponseWriter, r *http.Request) {
@@ -108,41 +167,45 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusAccepted, createResponse{ID: sess.ID, State: sess.stateNow(), Seed: sess.Seed()})
 	})
 
+	mux.HandleFunc("GET /events", s.serveEvents)
+
 	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Catalog()})
 	})
 
+	mux.HandleFunc("POST /experiments", func(w http.ResponseWriter, r *http.Request) {
+		var req ExpRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.CreateExperiment(req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, createResponse{ID: job.ID, State: job.stateNow()})
+	})
+
 	mux.HandleFunc("GET /experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
-		o := sim.QuickOptions()
-		var err error
-		if o.Trials, err = queryInt(r, "trials", o.Trials); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		id := r.PathValue("id")
+		if strings.HasPrefix(id, experimentKeyPrefix) {
+			s.serveExperimentJob(w, r, id)
 			return
 		}
-		if o.MaxSteps, err = queryInt(r, "maxsteps", o.MaxSteps); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		// Seeds are any int64 (zero and negatives included), unlike the
-		// count parameters above.
-		if raw := r.URL.Query().Get("seed"); raw != "" {
-			v, err := strconv.ParseInt(raw, 10, 64)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad seed=%q (want an integer)", raw))
-				return
-			}
-			o.Seed0 = v
-		}
-		tab, err := s.Experiments(r.PathValue("id"), o)
-		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, tab)
+		s.serveExperimentSync(w, r, id)
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, s.Stats())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -150,6 +213,145 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// serveExperimentJob answers GET /experiments/x-… — the async-job view,
+// with optional long-poll.
+func (s *Service) serveExperimentJob(w http.ResponseWriter, r *http.Request, id string) {
+	wait, err := parseWait(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if job, ok := s.ExperimentJob(id); ok {
+		if wait > 0 && !job.stateNow().Terminal() {
+			s.waitOn(r.Context(), job.Done(), wait)
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+		return
+	}
+	if v, ok := s.LookupExperiment(id); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("service: no such experiment job %s", id))
+}
+
+// serveExperimentSync answers GET /experiments/e1..e8 — the original
+// synchronous sweep-in-request path.
+func (s *Service) serveExperimentSync(w http.ResponseWriter, r *http.Request, id string) {
+	o := sim.QuickOptions()
+	var err error
+	if o.Trials, err = queryInt(r, "trials", o.Trials); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if o.MaxSteps, err = queryInt(r, "maxsteps", o.MaxSteps); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Seeds are any int64 (zero and negatives included), unlike the
+	// count parameters above.
+	if raw := r.URL.Query().Get("seed"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad seed=%q (want an integer)", raw))
+			return
+		}
+		o.Seed0 = v
+	}
+	tab, err := s.Experiments(id, o)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tab)
+}
+
+// serveEvents streams the farm's event bus as server-sent events. The
+// first frame is an "hello" event carrying the bus's current sequence
+// number — a subscriber that reads it is guaranteed to receive every
+// event published afterwards (modulo overflow, reported via gap in seq).
+// ?session=<id> narrows to one session; ?kind=session|experiment narrows
+// to one namespace.
+func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
+		return
+	}
+	sessionFilter := r.URL.Query().Get("session")
+	kindFilter := r.URL.Query().Get("kind")
+
+	sub := s.bus.Subscribe(256)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "event: hello\ndata: {\"seq\":%d}\n\n", s.bus.Seq())
+	fl.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case e, open := <-sub.C:
+			if !open {
+				return // farm shutting down
+			}
+			if sessionFilter != "" && !(e.Kind == kindSession && e.ID == sessionFilter) {
+				continue
+			}
+			if kindFilter != "" && e.Kind != kindFilter {
+				continue
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Kind, e.Seq, data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// waitOn blocks until done closes, the wait elapses, the client hangs up,
+// or the farm begins shutting down — the long-poll primitive. The
+// shutdown case matters: a held long-poll must not stall the HTTP
+// server's in-flight drain.
+func (s *Service) waitOn(ctx context.Context, done <-chan struct{}, wait time.Duration) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+	case <-ctx.Done():
+	case <-s.stopc:
+	}
+}
+
+// parseWait parses the optional ?wait= long-poll duration, capped at
+// maxWait.
+func parseWait(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("service: bad wait=%q (want a duration like 30s)", raw)
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d, nil
 }
 
 // queryInt parses an optional integer query parameter, bounded below by 1.
@@ -161,6 +363,20 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 	v, err := strconv.Atoi(raw)
 	if err != nil || v < 1 {
 		return 0, fmt.Errorf("service: bad %s=%q (want a positive integer)", key, raw)
+	}
+	return v, nil
+}
+
+// queryBoundedInt parses an optional integer query parameter with an
+// inclusive lower bound.
+func queryBoundedInt(r *http.Request, key string, def, min int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < min {
+		return 0, fmt.Errorf("service: bad %s=%q (want an integer >= %d)", key, raw, min)
 	}
 	return v, nil
 }
@@ -177,8 +393,8 @@ func decodeBody(r *http.Request, v any) error {
 
 // ListenAndServe runs the HTTP API on addr until ctx is cancelled, then
 // shuts down gracefully: the listener stops accepting, in-flight requests
-// get a grace period, and the worker pool drains queued sessions before
-// this returns.
+// get a grace period, the worker pool drains queued sessions, and the
+// store takes a final compacted snapshot before this returns.
 func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -189,9 +405,16 @@ func (s *Service) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Release SSE streams and long-poll holders first: SSE handlers exit
+	// when the bus closes, long-polls when stopc closes, letting
+	// Shutdown's in-flight drain complete promptly. Transitions published
+	// while draining are dropped (subscribers are disconnecting); session
+	// persistence is unaffected.
+	s.beginShutdown()
+	s.bus.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
-	s.Close() // drain queued and running sessions
+	s.Close() // drain queued and running sessions, snapshot the store
 	return err
 }

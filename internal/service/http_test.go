@@ -18,7 +18,7 @@ import (
 // httpFarm boots a farm behind an httptest server.
 func httpFarm(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc := newFarm(t, cfg)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -257,7 +257,7 @@ func TestHTTPExperiments(t *testing.T) {
 // ephemeral port, submits work, cancels the context, and asserts the
 // shutdown drained every queued session.
 func TestListenAndServeGracefulShutdown(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := newFarm(t, Config{Workers: 2})
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
 	go func() { served <- svc.ListenAndServe(ctx, "127.0.0.1:0") }()

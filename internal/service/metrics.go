@@ -1,0 +1,68 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// writeMetrics renders the farm's aggregate state in the Prometheus text
+// exposition format — hand-rolled (no client library dependency): counters
+// and gauges from StatsView, and one proper histogram per theorem variant
+// for session durations (cumulative le buckets, _sum, _count).
+func writeMetrics(w http.ResponseWriter, sv StatsView) {
+	var sb strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtFloat(v))
+	}
+
+	counter("mediatord_sessions_completed_total", "Sessions that reached a terminal state.", sv.Sessions)
+	counter("mediatord_sessions_failed_total", "Sessions that ended in failure.", sv.Failed)
+	counter("mediatord_sessions_deadlocked_total", "Sessions whose play deadlocked.", sv.Deadlocked)
+	counter("mediatord_sessions_created_total", "Sessions ever created (including recovered).", int64(sv.SessionsCreated))
+	counter("mediatord_sessions_evicted_total", "Terminal sessions evicted from the in-memory cache.", sv.SessionsEvicted)
+	counter("mediatord_persist_errors_total", "Failed writes to the durable store.", sv.PersistErrors)
+	counter("mediatord_messages_sent_total", "Protocol messages sent across all plays.", sv.MessagesSent)
+	counter("mediatord_messages_delivered_total", "Protocol messages delivered across all plays.", sv.MessagesDelivered)
+	counter("mediatord_steps_total", "Simulation steps executed across all plays.", sv.Steps)
+	gauge("mediatord_sessions_live", "Sessions currently held in memory.", float64(sv.SessionsLive))
+	gauge("mediatord_sessions_persisted", "Session records in the durable store.", float64(sv.SessionsPersisted))
+	gauge("mediatord_workers", "Worker-pool size.", float64(sv.Workers))
+	gauge("mediatord_uptime_seconds", "Seconds since the farm started.", sv.UptimeSeconds)
+
+	fmt.Fprintf(&sb, "# HELP mediatord_sessions_in_state Sessions per lifecycle state (in-memory).\n# TYPE mediatord_sessions_in_state gauge\n")
+	for _, st := range []State{StateAwaitingTypes, StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(&sb, "mediatord_sessions_in_state{state=%q} %d\n", string(st), sv.States[st])
+	}
+
+	if len(sv.Durations) > 0 {
+		bounds := DurationBounds()
+		name := "mediatord_session_duration_seconds"
+		fmt.Fprintf(&sb, "# HELP %s Session running wall time by theorem variant.\n# TYPE %s histogram\n", name, name)
+		for _, variant := range sv.Variants() {
+			ds := sv.Durations[variant]
+			var cum int64
+			for i, le := range bounds {
+				cum += ds.Buckets[i]
+				fmt.Fprintf(&sb, "%s_bucket{variant=%q,le=%q} %d\n", name, variant, fmtFloat(le), cum)
+			}
+			cum += ds.Buckets[len(bounds)]
+			fmt.Fprintf(&sb, "%s_bucket{variant=%q,le=\"+Inf\"} %d\n", name, variant, cum)
+			fmt.Fprintf(&sb, "%s_sum{variant=%q} %s\n", name, variant, fmtFloat(ds.Sum))
+			fmt.Fprintf(&sb, "%s_count{variant=%q} %d\n", name, variant, ds.Count)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// fmtFloat renders a float the Prometheus way: shortest exact decimal.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

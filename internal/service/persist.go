@@ -1,0 +1,69 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The store's key namespaces: sessions and experiment jobs share one
+// keyspace, disambiguated by prefix, and both carry a zero-padded sequence
+// number so lexicographic key order is creation order.
+const (
+	sessionKeyPrefix    = "s-"
+	experimentKeyPrefix = "x-"
+)
+
+// viewRecVersion versions the persisted view encodings. The byte is the
+// serialization contract between daemon generations: a record whose
+// version this binary does not know is rejected, not misread.
+const viewRecVersion = 1
+
+// parseKeySeq extracts the numeric sequence from a store key of the given
+// prefix ("s-000042" -> 42).
+func parseKeySeq(key, prefix string) (int64, bool) {
+	if !strings.HasPrefix(key, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(key, prefix), 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// marshalView is the shared view encoding: a version byte followed by the
+// JSON rendering the HTTP API already serves, so the store and the wire
+// agree on one schema per type.
+func marshalView(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{viewRecVersion}, b...), nil
+}
+
+func unmarshalView(data []byte, v any) error {
+	if len(data) < 1 {
+		return fmt.Errorf("service: empty persisted view")
+	}
+	if data[0] != viewRecVersion {
+		return fmt.Errorf("service: persisted view version %d not supported", data[0])
+	}
+	return json.Unmarshal(data[1:], v)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the session view's
+// serialization contract with the store.
+func (v View) MarshalBinary() ([]byte, error) { return marshalView(v) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *View) UnmarshalBinary(data []byte) error { return unmarshalView(data, v) }
+
+// MarshalBinary implements encoding.BinaryMarshaler for experiment-job
+// views.
+func (v ExpView) MarshalBinary() ([]byte, error) { return marshalView(v) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *ExpView) UnmarshalBinary(data []byte) error { return unmarshalView(data, v) }

@@ -2,10 +2,13 @@
 // hosts many concurrent cheap-talk plays in one process. The paper's
 // point is that the trusted mediator can be replaced by a service-free
 // protocol among the players; this package supplies the serving layer
-// that makes the replacement operational — a registry of sessions, a
+// that makes the replacement operational — a registry of sessions backed
+// by a durable store (internal/store: WAL + snapshots, crash recovery), a
 // bounded worker pool executing them with per-session deterministic
-// seeds, a contention-free statistics sink, and an HTTP/JSON control
-// surface (http.go) suitable for a daemon (cmd/mediatord).
+// seeds, a contention-free statistics sink with per-variant latency
+// histograms, an event bus (internal/events) pushing state transitions to
+// SSE and long-poll clients, and an HTTP/JSON control surface (http.go)
+// suitable for a daemon (cmd/mediatord).
 //
 // Two execution backends host the same compiled players: the
 // deterministic in-process simulator (default, the object of study of
@@ -14,19 +17,30 @@
 package service
 
 import (
+	"encoding/json"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"asyncmediator/internal/async"
+	"asyncmediator/internal/events"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/pool"
 	"asyncmediator/internal/sim"
+	"asyncmediator/internal/store"
 )
 
 // ErrQueueFull signals farm saturation; clients should back off and retry.
 // It is the shared worker pool's sentinel: the farm and the experiment
 // engine run on the same pool implementation.
 var ErrQueueFull = pool.ErrQueueFull
+
+// Event kinds published to the bus.
+const (
+	kindSession    = "session"
+	kindExperiment = "experiment"
+)
 
 // Config tunes the farm.
 type Config struct {
@@ -41,6 +55,17 @@ type Config struct {
 	MaxN int
 	// WireTimeout bounds a wire-backend session (default 60s).
 	WireTimeout time.Duration
+	// DataDir enables the durable store: terminal sessions and experiment
+	// jobs persist to a WAL + snapshot pair there and survive restarts.
+	// Empty means memory-only (the pre-durability behaviour).
+	DataDir string
+	// MaxLiveSessions bounds the in-memory session cache (0: unlimited).
+	// Terminal sessions beyond the bound evict to the store; without a
+	// DataDir, evicted sessions are gone (bounded memory, no durability).
+	MaxLiveSessions int
+	// SnapshotEvery is the store's compaction cadence in WAL records
+	// (0: the store default).
+	SnapshotEvery int
 }
 
 func (c *Config) normalize() {
@@ -65,33 +90,112 @@ type Service struct {
 	pool   *pool.Pool
 	engine *sim.Engine
 	sink   *Sink
+	bus    *events.Bus
+	st     *store.Store // nil: memory-only
 	start  time.Time
+
+	expMu   sync.Mutex
+	exps    map[string]*ExpJob
+	expNext int64
+	// expPending counts queued+running jobs (driver-goroutine admission);
+	// jobs waits for the drivers on Close.
+	expPending atomic.Int64
+	jobs       sync.WaitGroup
+
+	// stopc closes when shutdown begins, releasing long-poll holders so
+	// the HTTP server's in-flight drain completes promptly.
+	stopc    chan struct{}
+	stopOnce sync.Once
+
+	persistErrs atomic.Int64
 }
 
 // New starts a farm: workers are live and accepting sessions when it
-// returns. Experiment sweeps (GET /experiments/{id}) share the same
-// worker pool as hosted plays.
-func New(cfg Config) *Service {
+// returns. With cfg.DataDir set, the durable store is opened first and the
+// previous generation's terminal sessions, experiment jobs, and id
+// watermarks are recovered before the HTTP surface can serve a request.
+// Experiment sweeps share the same worker pool as hosted plays.
+func New(cfg Config) (*Service, error) {
 	cfg.normalize()
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: cfg.DataDir, CompactEvery: cfg.SnapshotEvery})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Service{
 		cfg:   cfg,
-		reg:   NewRegistry(cfg.BaseSeed, cfg.MaxN),
+		reg:   NewRegistry(cfg.BaseSeed, cfg.MaxN, cfg.MaxLiveSessions, st),
 		sink:  NewSink(cfg.Workers),
+		bus:   events.NewBus(),
+		st:    st,
+		stopc: make(chan struct{}),
 		start: time.Now(),
 	}
+	s.exps = make(map[string]*ExpJob)
+	s.recoverExperiments()
 	s.pool = pool.New(cfg.Workers, cfg.QueueDepth)
 	s.engine = sim.EngineOn(s.pool)
-	return s
+	return s, nil
+}
+
+// Events returns the farm's event bus (state transitions of sessions and
+// experiment jobs).
+func (s *Service) Events() *events.Bus { return s.bus }
+
+// beginShutdown releases every long-poll holder. Idempotent.
+func (s *Service) beginShutdown() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+}
+
+// StoreRecovery reports what the durable store found at boot; ok is false
+// for a memory-only farm.
+func (s *Service) StoreRecovery() (store.Recovery, bool) {
+	if s.st == nil {
+		return store.Recovery{}, false
+	}
+	return s.st.Recovery(), true
+}
+
+// publish emits one lifecycle transition to the bus.
+func (s *Service) publish(kind, id string, state State, data any) {
+	e := events.Event{Kind: kind, ID: id, State: string(state), Terminal: state.Terminal()}
+	if data != nil {
+		if raw, err := json.Marshal(data); err == nil {
+			e.Data = raw
+		}
+	}
+	s.bus.Publish(e)
 }
 
 // CreateSession registers a new session awaiting its type profile.
 func (s *Service) CreateSession(spec Spec) (*Session, error) {
-	return s.reg.Create(spec)
+	sess, err := s.reg.Create(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.publish(kindSession, sess.ID, StateAwaitingTypes, nil)
+	return sess, nil
 }
 
-// Session looks up a session by id.
+// Session looks up an in-memory session by id. Evicted terminal sessions
+// are served by Lookup.
 func (s *Service) Session(id string) (*Session, bool) {
 	return s.reg.Get(id)
+}
+
+// Lookup returns a session view from the hot cache or the durable store.
+func (s *Service) Lookup(id string) (View, bool) {
+	return s.reg.Lookup(id)
+}
+
+// ListSessions pages session views across memory and store, optionally
+// filtered by lifecycle state, sorted by id. It returns the total match
+// count alongside the page.
+func (s *Service) ListSessions(state string, offset, limit int) (int, []View) {
+	return s.reg.List(state, offset, limit)
 }
 
 // SubmitTypes supplies a session's realized type profile and queues it
@@ -104,8 +208,12 @@ func (s *Service) SubmitTypes(id string, types []game.Type) (*Session, error) {
 	if err := sess.SubmitTypes(types); err != nil {
 		return nil, err
 	}
+	// Announce queued before the pool can run it, so subscribers observe
+	// lifecycle order.
+	s.publish(kindSession, sess.ID, StateQueued, nil)
 	if err := s.pool.TrySubmit(func(worker int) { s.exec(worker, sess) }); err != nil {
 		sess.rollback() // the client may resubmit after backoff
+		s.publish(kindSession, sess.ID, StateAwaitingTypes, nil)
 		return nil, err
 	}
 	return sess, nil
@@ -113,14 +221,17 @@ func (s *Service) SubmitTypes(id string, types []game.Type) (*Session, error) {
 
 // Experiments runs one experiment table through the farm's worker pool —
 // the same sharded engine cmd/mediatorsim uses, competing for the same
-// workers as hosted plays.
+// workers as hosted plays. This is the synchronous path (GET
+// /experiments/{catalog-id}); CreateExperiment is the async-job path.
 func (s *Service) Experiments(id string, o sim.Options) (*sim.Table, error) {
 	return s.engine.Run(id, o)
 }
 
-// exec runs one session on its backend and folds the outcome into the
-// sink. It is the worker-pool callback.
+// exec runs one session on its backend, persists and announces the
+// terminal state, and folds the outcome into the sink. It is the
+// worker-pool callback.
 func (s *Service) exec(worker int, sess *Session) {
+	s.publish(kindSession, sess.ID, StateRunning, nil)
 	types := sess.begin()
 	var (
 		prof game.Profile
@@ -134,7 +245,21 @@ func (s *Service) exec(worker int, sess *Session) {
 	}
 	sess.finish(prof, res, err)
 
-	rec := Record{Failed: err != nil}
+	view := sess.Snapshot()
+	if serr := s.reg.Spill(view); serr != nil {
+		// The session stays in memory (never evicted un-persisted); count
+		// the failure so /stats surfaces a sick disk.
+		s.persistErrs.Add(1)
+	}
+	// The terminal event carries the snapshot, so a subscriber needs no
+	// follow-up GET.
+	s.publish(kindSession, view.ID, view.State, view)
+
+	rec := Record{
+		Failed:   err != nil,
+		Variant:  sess.Spec.Variant,
+		Duration: sess.duration(),
+	}
 	if err == nil {
 		rec.Deadlocked = res.Deadlocked
 		rec.Steps = int64(res.Stats.Steps)
@@ -148,12 +273,16 @@ func (s *Service) exec(worker int, sess *Session) {
 // StatsView is the farm-level aggregate exposed at GET /stats.
 type StatsView struct {
 	Totals
-	SessionsCreated int           `json:"sessions_created"`
-	States          map[State]int `json:"states"`
-	Workers         int           `json:"workers"`
-	UptimeSeconds   float64       `json:"uptime_seconds"`
-	SessionsPerSec  float64       `json:"sessions_per_sec"`
-	MessagesPerSec  float64       `json:"messages_per_sec"`
+	SessionsCreated   int           `json:"sessions_created"`
+	SessionsLive      int           `json:"sessions_live"`
+	SessionsEvicted   int64         `json:"sessions_evicted"`
+	SessionsPersisted int           `json:"sessions_persisted,omitempty"`
+	PersistErrors     int64         `json:"persist_errors,omitempty"`
+	States            map[State]int `json:"states"`
+	Workers           int           `json:"workers"`
+	UptimeSeconds     float64       `json:"uptime_seconds"`
+	SessionsPerSec    float64       `json:"sessions_per_sec"`
+	MessagesPerSec    float64       `json:"messages_per_sec"`
 }
 
 // Stats aggregates the farm counters.
@@ -162,10 +291,16 @@ func (s *Service) Stats() StatsView {
 	up := time.Since(s.start).Seconds()
 	v := StatsView{
 		Totals:          tot,
-		SessionsCreated: s.reg.Len(),
+		SessionsCreated: int(s.reg.Created()),
+		SessionsLive:    s.reg.Len(),
+		SessionsEvicted: s.reg.Evicted(),
+		PersistErrors:   s.persistErrs.Load(),
 		States:          s.reg.StateCounts(),
 		Workers:         s.cfg.Workers,
 		UptimeSeconds:   up,
+	}
+	if s.st != nil {
+		v.SessionsPersisted = s.st.Count(sessionKeyPrefix)
 	}
 	if up > 0 {
 		v.SessionsPerSec = float64(tot.Sessions) / up
@@ -174,9 +309,19 @@ func (s *Service) Stats() StatsView {
 	return v
 }
 
-// Close drains the farm: intake stops, queued and running sessions finish,
-// then the stats collector exits.
+// Close drains the farm: intake stops, queued and running sessions finish
+// (and persist), experiment-job drivers run their remaining shards inline
+// against the closed pool and persist, the store takes a final compacted
+// snapshot, the event bus closes every subscriber, then the stats
+// collector exits.
 func (s *Service) Close() {
+	s.beginShutdown()
 	s.pool.Close()
+	s.jobs.Wait()
+	if s.st != nil {
+		_ = s.st.Compact() // graceful shutdown = snapshot + empty WAL
+		_ = s.st.Close()
+	}
+	s.bus.Close()
 	s.sink.Close()
 }

@@ -9,6 +9,16 @@ import (
 	"asyncmediator/internal/game"
 )
 
+// newFarm boots a farm or fails the test.
+func newFarm(t testing.TB, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
 func TestSpecDefaultsToServiceFreeConfiguration(t *testing.T) {
 	var spec Spec
 	spec.normalize()
@@ -26,7 +36,7 @@ func TestSpecDefaultsToServiceFreeConfiguration(t *testing.T) {
 }
 
 func TestRegistryCreateValidatesAndDerivesSeeds(t *testing.T) {
-	r := NewRegistry(100, 0)
+	r := NewRegistry(100, 0, 0, nil)
 	s1, err := r.Create(Spec{})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +73,7 @@ func TestRegistryCreateValidatesAndDerivesSeeds(t *testing.T) {
 }
 
 func TestSessionLifecycle(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := newFarm(t, Config{Workers: 2})
 	defer svc.Close()
 	sess, err := svc.CreateSession(Spec{})
 	if err != nil {
@@ -106,7 +116,7 @@ func TestSessionDeterministicReplay(t *testing.T) {
 	// Two farms, same base seed: session s-000001 must produce identical
 	// outcomes and identical message counts.
 	run := func() View {
-		svc := New(Config{Workers: 1, BaseSeed: 42})
+		svc := newFarm(t, Config{Workers: 1, BaseSeed: 42})
 		defer svc.Close()
 		sess, err := svc.CreateSession(Spec{Scheduler: "random"})
 		if err != nil {
@@ -129,7 +139,7 @@ func TestFarmBackpressureSurfacesQueueFull(t *testing.T) {
 	// A farm whose single worker is wedged and whose queue holds one
 	// session must reject the third submission with ErrQueueFull and roll
 	// the session back so the client can resubmit after backoff.
-	svc := New(Config{Workers: 1, QueueDepth: 1})
+	svc := newFarm(t, Config{Workers: 1, QueueDepth: 1})
 	defer svc.Close()
 	block := make(chan struct{})
 	defer close(block)
@@ -204,7 +214,7 @@ func TestSinkShardedAggregation(t *testing.T) {
 }
 
 func TestConsensusGameSessions(t *testing.T) {
-	svc := New(Config{Workers: 4})
+	svc := newFarm(t, Config{Workers: 4})
 	defer svc.Close()
 	// n=5, k=0, t=1 consensus under Theorem 4.1: players agree on the
 	// majority of their private bits.
@@ -232,7 +242,7 @@ func TestWireBackendSession(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wire backend spins a real TCP mesh")
 	}
-	svc := New(Config{Workers: 2})
+	svc := newFarm(t, Config{Workers: 2})
 	defer svc.Close()
 	// Theorem 4.2 at its bound n=4: a real loopback mesh, OS-scheduled.
 	sess, err := svc.CreateSession(Spec{N: 4, K: 1, T: 0, Variant: "4.2", Backend: "wire"})
@@ -262,7 +272,7 @@ func TestWireBackendSession(t *testing.T) {
 }
 
 func TestGracefulCloseDrainsQueuedSessions(t *testing.T) {
-	svc := New(Config{Workers: 2})
+	svc := newFarm(t, Config{Workers: 2})
 	const n = 24
 	sessions := make([]*Session, 0, n)
 	for i := 0; i < n; i++ {

@@ -25,6 +25,19 @@ const (
 	StateFailed        State = "failed"
 )
 
+// Terminal reports whether the state is final (done or failed) — the
+// condition for persistence and eviction eligibility.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// knownState validates a client-supplied state filter.
+func knownState(s string) bool {
+	switch State(s) {
+	case StateAwaitingTypes, StateQueued, StateRunning, StateDone, StateFailed:
+		return true
+	}
+	return false
+}
+
 // Spec is the client-facing configuration of one hosted play. Zero values
 // select the farm's default serving configuration (the n > 4t asynchronous
 // variant of Theorem 4.1 on the Section 6.4 game).
@@ -146,6 +159,7 @@ type Session struct {
 	res      *async.Result
 	err      error
 	created  time.Time
+	started  time.Time
 	finished time.Time
 
 	// done closes when the session reaches a terminal state.
@@ -203,6 +217,7 @@ func (s *Session) begin() []game.Type {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.state = StateRunning
+	s.started = time.Now()
 	return s.types
 }
 
@@ -222,6 +237,17 @@ func (s *Session) finish(profile game.Profile, res *async.Result, err error) {
 	close(s.done)
 }
 
+// duration returns the wall time the session spent running (zero until
+// terminal).
+func (s *Session) duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.state.Terminal() || s.started.IsZero() {
+		return 0
+	}
+	return s.finished.Sub(s.started)
+}
+
 // View is a JSON-renderable snapshot of a session.
 type View struct {
 	ID        string    `json:"id"`
@@ -237,7 +263,9 @@ type View struct {
 	Steps     int       `json:"steps,omitempty"`
 	MsgsSent  int       `json:"messages_sent,omitempty"`
 	MsgsDeliv int       `json:"messages_delivered,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	// DurationSeconds is the wall time the play ran (terminal states only).
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	Error           string  `json:"error,omitempty"`
 }
 
 // Snapshot returns a consistent view of the session.
@@ -264,6 +292,9 @@ func (s *Session) Snapshot() View {
 		v.Steps = s.res.Stats.Steps
 		v.MsgsSent = s.res.Stats.MessagesSent
 		v.MsgsDeliv = s.res.Stats.MessagesDelivered
+	}
+	if s.state.Terminal() && !s.started.IsZero() {
+		v.DurationSeconds = s.finished.Sub(s.started).Seconds()
 	}
 	if s.err != nil {
 		v.Error = s.err.Error()

@@ -1,7 +1,9 @@
 package service
 
 import (
+	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Record is one completed session's contribution to the farm statistics.
@@ -13,6 +15,11 @@ type Record struct {
 	Delivered  int64
 	// ProfileKey is the outcome profile's canonical key ("" for failures).
 	ProfileKey string
+	// Variant is the theorem label the session ran ("4.1".."4.5"); it keys
+	// the per-variant duration histogram.
+	Variant string
+	// Duration is the session's running wall time (zero: not recorded).
+	Duration time.Duration
 }
 
 // shard is one worker's private slice of the numeric counters. The
@@ -28,15 +35,127 @@ type shard struct {
 	_          [64]byte
 }
 
+// durBounds are the histogram bucket upper bounds in seconds (exponential,
+// ms to minute scale — a hosted play is milliseconds in the simulator and
+// can reach seconds on the wire backend). The final implicit bucket is
+// +Inf.
+var durBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// durHist is one variant's duration histogram; owned by the collector
+// goroutine, so no locks.
+type durHist struct {
+	counts []int64 // len(durBounds)+1: the last slot is the overflow bucket
+	sum    float64
+	n      int64
+}
+
+func newDurHist() *durHist {
+	return &durHist{counts: make([]int64, len(durBounds)+1)}
+}
+
+func (h *durHist) add(sec float64) {
+	i := 0
+	for i < len(durBounds) && sec > durBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += sec
+	h.n++
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the containing bucket; the overflow bucket reports its lower
+// bound (the largest finite boundary).
+func (h *durHist) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum int64
+	for i, c := range h.counts {
+		if float64(cum+c) >= target {
+			if i == len(durBounds) {
+				return durBounds[len(durBounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = durBounds[i-1]
+			}
+			hi := durBounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (target - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return durBounds[len(durBounds)-1]
+}
+
+// snapshot renders the histogram for Totals.
+func (h *durHist) snapshot() DurationStats {
+	ds := DurationStats{
+		Count:      h.n,
+		Sum:        h.sum,
+		P50Seconds: h.quantile(0.50),
+		P99Seconds: h.quantile(0.99),
+		Buckets:    make([]int64, len(h.counts)),
+	}
+	copy(ds.Buckets, h.counts)
+	if h.n > 0 {
+		ds.MeanSeconds = h.sum / float64(h.n)
+	}
+	return ds
+}
+
+// DurationStats summarizes one variant's session-duration histogram for
+// /stats (the quantiles) and /metrics (the raw buckets).
+type DurationStats struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	// Sum is the total observed seconds (Prometheus histogram _sum).
+	Sum float64 `json:"-"`
+	// Buckets are the per-bucket (non-cumulative) counts aligned with
+	// DurationBounds, plus a trailing overflow bucket.
+	Buckets []int64 `json:"-"`
+}
+
+// DurationBounds exposes the histogram boundaries (seconds) for renderers.
+func DurationBounds() []float64 {
+	out := make([]float64, len(durBounds))
+	copy(out, durBounds)
+	return out
+}
+
+// durSample is one session duration en route to the collector.
+type durSample struct {
+	variant string
+	sec     float64
+}
+
+// histograms is the collector-owned map state returned by a snapshot
+// request.
+type histograms struct {
+	outcomes  map[string]int64
+	durations map[string]DurationStats
+}
+
 // Sink aggregates Records without a global mutex. Numeric counters are
 // sharded per worker (lock-free atomics, one cache line each); the
-// outcome-profile histogram — a map, which atomics cannot shard — is owned
-// by a single collector goroutine fed over a channel, so it too has no
-// lock. Snapshot sums the shards and asks the collector for a copy.
+// outcome-profile histogram and the per-variant duration histograms —
+// maps, which atomics cannot shard — are owned by a single collector
+// goroutine fed over channels, so they too have no lock. Snapshot sums the
+// shards and asks the collector for copies.
 type Sink struct {
 	shards []shard
 	outc   chan string
-	snapc  chan chan map[string]int64
+	durc   chan durSample
+	snapc  chan chan histograms
 	donec  chan struct{}
 	closed atomic.Bool
 }
@@ -49,20 +168,32 @@ func NewSink(workers int) *Sink {
 	s := &Sink{
 		shards: make([]shard, workers),
 		outc:   make(chan string, 256),
-		snapc:  make(chan chan map[string]int64),
+		durc:   make(chan durSample, 256),
+		snapc:  make(chan chan histograms),
 		donec:  make(chan struct{}),
 	}
 	go s.collect()
 	return s
 }
 
-// collect owns the outcome histogram.
+// collect owns the outcome and duration histograms.
 func (s *Sink) collect() {
-	hist := make(map[string]int64)
+	outcomes := make(map[string]int64)
+	durs := make(map[string]*durHist)
+	addDur := func(d durSample) {
+		h := durs[d.variant]
+		if h == nil {
+			h = newDurHist()
+			durs[d.variant] = h
+		}
+		h.add(d.sec)
+	}
 	for {
 		select {
 		case k := <-s.outc:
-			hist[k]++
+			outcomes[k]++
+		case d := <-s.durc:
+			addDur(d)
 		case req := <-s.snapc:
 			// Fold in everything already buffered, so a snapshot taken
 			// after the last Record returned reflects that record.
@@ -70,16 +201,24 @@ func (s *Sink) collect() {
 			for {
 				select {
 				case k := <-s.outc:
-					hist[k]++
+					outcomes[k]++
+				case d := <-s.durc:
+					addDur(d)
 				default:
 					break drain
 				}
 			}
-			cp := make(map[string]int64, len(hist))
-			for k, v := range hist {
-				cp[k] = v
+			h := histograms{
+				outcomes:  make(map[string]int64, len(outcomes)),
+				durations: make(map[string]DurationStats, len(durs)),
 			}
-			req <- cp
+			for k, v := range outcomes {
+				h.outcomes[k] = v
+			}
+			for k, v := range durs {
+				h.durations[k] = v.snapshot()
+			}
+			req <- h
 		case <-s.donec:
 			return
 		}
@@ -107,6 +246,12 @@ func (s *Sink) Record(worker int, rec Record) {
 		case <-s.donec:
 		}
 	}
+	if rec.Duration > 0 && rec.Variant != "" {
+		select {
+		case s.durc <- durSample{variant: rec.Variant, sec: rec.Duration.Seconds()}:
+		case <-s.donec:
+		}
+	}
 }
 
 // Totals is an aggregated snapshot of the sink.
@@ -118,9 +263,21 @@ type Totals struct {
 	MessagesSent      int64            `json:"messages_sent"`
 	MessagesDelivered int64            `json:"messages_delivered"`
 	Outcomes          map[string]int64 `json:"outcomes,omitempty"`
+	// Durations maps theorem variant -> session-duration summary (p50/p99).
+	Durations map[string]DurationStats `json:"session_duration_by_variant,omitempty"`
 }
 
-// Snapshot sums all shards and copies the outcome histogram.
+// Variants lists the duration-histogram keys in sorted order.
+func (t Totals) Variants() []string {
+	out := make([]string, 0, len(t.Durations))
+	for v := range t.Durations {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot sums all shards and copies the histograms.
 func (s *Sink) Snapshot() Totals {
 	var t Totals
 	for i := range s.shards {
@@ -132,18 +289,20 @@ func (s *Sink) Snapshot() Totals {
 		t.MessagesSent += sh.sent.Load()
 		t.MessagesDelivered += sh.delivered.Load()
 	}
-	req := make(chan map[string]int64, 1)
+	req := make(chan histograms, 1)
 	select {
 	case s.snapc <- req:
-		t.Outcomes = <-req
+		h := <-req
+		t.Outcomes = h.outcomes
+		t.Durations = h.durations
 	case <-s.donec:
-		// Closed sink: counters remain valid, histogram is gone.
+		// Closed sink: counters remain valid, histograms are gone.
 	}
 	return t
 }
 
 // Close stops the collector goroutine. Counter reads stay valid; the
-// outcome histogram is discarded.
+// histograms are discarded.
 func (s *Sink) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.donec)

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string, compactEvery int) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, CompactEvery: compactEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func put(t *testing.T, s *Store, key, data string) {
+	t.Helper()
+	if err := s.Put(key, []byte(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	put(t, s, "s-000001", "one")
+	put(t, s, "s-000002", "two")
+	put(t, s, "s-000001", "one-v2") // overwrite: last write wins
+	if got, ok := s.Get("s-000001"); !ok || string(got) != "one-v2" {
+		t.Fatalf("get: %q %v", got, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Fatalf("put after close: %v", err)
+	}
+
+	s2 := open(t, dir, 0)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.WALRecords != 3 || rec.SnapshotRecords != 0 || rec.TornBytes != 0 {
+		t.Fatalf("recovery %+v", rec)
+	}
+	if got, ok := s2.Get("s-000001"); !ok || string(got) != "one-v2" {
+		t.Fatalf("reopen get: %q %v", got, ok)
+	}
+	if got, ok := s2.Get("s-000002"); !ok || string(got) != "two" {
+		t.Fatalf("reopen get: %q %v", got, ok)
+	}
+	if keys := s2.Keys(""); len(keys) != 2 || keys[0] != "s-000001" || keys[1] != "s-000002" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+// TestTornTailIsTruncated is the crash test: a hard kill mid-append leaves
+// a partial frame at the WAL tail. Reopening must recover the intact
+// prefix, discard the torn frame, and leave a WAL that appends cleanly.
+func TestTornTailIsTruncated(t *testing.T) {
+	for name, tear := range map[string]func([]byte) []byte{
+		// The header itself is cut short.
+		"short-header": func(b []byte) []byte { return append(b, 0x07, 0x00) },
+		// A full header promising more payload bytes than exist.
+		"short-payload": func(b []byte) []byte {
+			return append(b, 0x20, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x', 'y')
+		},
+		// An intact-length frame whose payload was corrupted in place.
+		"crc-mismatch": func(b []byte) []byte {
+			return append(b, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 'z', 'z')
+		},
+		// An impossible (giant) length field.
+		"insane-length": func(b []byte) []byte {
+			return append(b, 0xff, 0xff, 0xff, 0x7f, 0x00, 0x00, 0x00, 0x00)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, 0)
+			put(t, s, "a", "alpha")
+			put(t, s, "b", "beta")
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			walPath := filepath.Join(dir, walName)
+			b, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intact := len(b)
+			if err := os.WriteFile(walPath, tear(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := open(t, dir, 0)
+			rec := s2.Recovery()
+			if rec.WALRecords != 2 {
+				t.Fatalf("recovered %d records, want the intact prefix of 2", rec.WALRecords)
+			}
+			if rec.TornBytes == 0 {
+				t.Fatal("torn tail not reported")
+			}
+			if got, ok := s2.Get("a"); !ok || string(got) != "alpha" {
+				t.Fatalf("prefix lost: %q %v", got, ok)
+			}
+			if got, ok := s2.Get("b"); !ok || string(got) != "beta" {
+				t.Fatalf("prefix lost: %q %v", got, ok)
+			}
+			// The torn bytes are gone from disk, and the WAL appends cleanly.
+			if info, err := os.Stat(walPath); err != nil || info.Size() != int64(intact) {
+				t.Fatalf("wal not truncated to the intact prefix: %v %v", info, err)
+			}
+			put(t, s2, "c", "gamma")
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := open(t, dir, 0)
+			defer s3.Close()
+			if got, ok := s3.Get("c"); !ok || string(got) != "gamma" {
+				t.Fatalf("post-recovery append lost: %q %v", got, ok)
+			}
+			if s3.Recovery().TornBytes != 0 {
+				t.Fatalf("second recovery still torn: %+v", s3.Recovery())
+			}
+		})
+	}
+}
+
+// TestCompactionSnapshotsAndTruncatesWAL drives enough Puts to cross the
+// auto-compaction threshold and asserts the snapshot takes over from the
+// WAL, with everything intact after reopen.
+func TestCompactionSnapshotsAndTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 8)
+	for i := 0; i < 20; i++ {
+		put(t, s, fmt.Sprintf("k-%03d", i%10), fmt.Sprintf("v%d", i))
+	}
+	if n := s.WALRecords(); n >= 8 {
+		t.Fatalf("wal holds %d records, auto-compaction never fired", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapName)); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 8)
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.SnapshotRecords == 0 {
+		t.Fatalf("reopen ignored the snapshot: %+v", rec)
+	}
+	if s2.Len() != 10 {
+		t.Fatalf("len %d after reopen", s2.Len())
+	}
+	// The latest write per key wins across snapshot + wal.
+	if got, _ := s2.Get("k-009"); string(got) != "v19" {
+		t.Fatalf("k-009 = %q", got)
+	}
+}
+
+// TestReplayIsIdempotentAcrossSnapshotAndWAL simulates the crash window
+// between the snapshot rename and the WAL truncation: both files hold the
+// same records, and replay must not duplicate or resurrect anything.
+func TestReplayIsIdempotentAcrossSnapshotAndWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	put(t, s, "a", "v1")
+	put(t, s, "b", "v1")
+	if err := s.Compact(); err != nil { // snapshot now holds a,b
+		t.Fatal(err)
+	}
+	put(t, s, "a", "v2") // wal holds the newer a
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-create the crash window: prepend the snapshotted records back into
+	// the WAL as if truncation had never happened.
+	walPath := filepath.Join(dir, walName)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, append(append([]byte{}, snap...), wal...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("len %d after double replay", s2.Len())
+	}
+	if got, _ := s2.Get("a"); string(got) != "v2" {
+		t.Fatalf("a = %q, want the WAL's newer v2", got)
+	}
+	if got, _ := s2.Get("b"); string(got) != "v1" {
+		t.Fatalf("b = %q", got)
+	}
+}
+
+func TestScanPrefixOrderAndAbort(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	defer s.Close()
+	put(t, s, "x-000002", "j2")
+	put(t, s, "s-000002", "b")
+	put(t, s, "s-000001", "a")
+	put(t, s, "x-000001", "j1")
+
+	var keys []string
+	if err := s.Scan("s-", func(k string, data []byte) error {
+		keys = append(keys, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "s-000001" || keys[1] != "s-000002" {
+		t.Fatalf("scan order %v", keys)
+	}
+	wantErr := fmt.Errorf("stop")
+	calls := 0
+	if err := s.Scan("", func(string, []byte) error { calls++; return wantErr }); err != wantErr {
+		t.Fatalf("scan abort: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("scan continued after abort: %d calls", calls)
+	}
+}
+
+func TestRecordBinaryRoundTripAndBounds(t *testing.T) {
+	rec := Record{Key: "s-000042", Data: []byte{0, 1, 2, 255}}
+	b, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key || !bytes.Equal(got.Data, rec.Data) {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := (Record{}).MarshalBinary(); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := got.UnmarshalBinary([]byte{recVersion}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := got.UnmarshalBinary([]byte{99, 1, 0, 'k'}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestConcurrentPuts hammers the store from many goroutines across the
+// compaction threshold; run under -race in CI.
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 32)
+	const writers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("w%d-%03d", w, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Errorf("get %s: missing", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*each {
+		t.Fatalf("len %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 32)
+	defer s2.Close()
+	if s2.Len() != writers*each {
+		t.Fatalf("reopen len %d", s2.Len())
+	}
+}
