@@ -1,0 +1,36 @@
+package api
+
+// State is the lifecycle phase of a session or experiment job.
+// Transitions are strictly forward: awaiting-types -> queued -> running
+// -> done | failed for sessions; queued -> running -> done | failed for
+// jobs. The one legal backward step is queued -> awaiting-types when a
+// session's type submission is rejected by a saturated pool, so the
+// client may resubmit after backoff.
+type State string
+
+// The lifecycle states.
+const (
+	StateAwaitingTypes State = "awaiting-types"
+	StateQueued        State = "queued"
+	StateRunning       State = "running"
+	StateDone          State = "done"
+	StateFailed        State = "failed"
+)
+
+// States lists every lifecycle state in transition order.
+func States() []State {
+	return []State{StateAwaitingTypes, StateQueued, StateRunning, StateDone, StateFailed}
+}
+
+// Terminal reports whether the state is final (done or failed) — the
+// condition for persistence, eviction eligibility, and long-poll release.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// KnownState validates a client-supplied state filter.
+func KnownState(s string) bool {
+	switch State(s) {
+	case StateAwaitingTypes, StateQueued, StateRunning, StateDone, StateFailed:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package api
+
+import "sort"
+
+// DurationStats summarizes one theorem variant's session-duration
+// histogram: quantiles for /v1/stats, raw buckets for the Prometheus
+// exposition. Sum and Buckets are server-side rendering state, not part
+// of the JSON contract.
+type DurationStats struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	// Sum is the total observed seconds (Prometheus histogram _sum).
+	Sum float64 `json:"-"`
+	// Buckets are the per-bucket (non-cumulative) counts aligned with the
+	// server's histogram boundaries, plus a trailing overflow bucket.
+	Buckets []int64 `json:"-"`
+}
+
+// StatsTotals are the farm's aggregate play counters.
+type StatsTotals struct {
+	Sessions          int64            `json:"sessions_completed"`
+	Failed            int64            `json:"sessions_failed"`
+	Deadlocked        int64            `json:"sessions_deadlocked"`
+	Steps             int64            `json:"steps"`
+	MessagesSent      int64            `json:"messages_sent"`
+	MessagesDelivered int64            `json:"messages_delivered"`
+	Outcomes          map[string]int64 `json:"outcomes,omitempty"`
+	// Durations maps theorem variant -> session-duration summary (p50/p99).
+	Durations map[string]DurationStats `json:"session_duration_by_variant,omitempty"`
+}
+
+// Variants lists the duration-histogram keys in sorted order.
+func (t StatsTotals) Variants() []string {
+	out := make([]string, 0, len(t.Durations))
+	for v := range t.Durations {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats is the farm-level aggregate — the body of GET /v1/stats.
+type Stats struct {
+	StatsTotals
+	SessionsCreated   int           `json:"sessions_created"`
+	SessionsLive      int           `json:"sessions_live"`
+	SessionsEvicted   int64         `json:"sessions_evicted"`
+	SessionsPersisted int           `json:"sessions_persisted,omitempty"`
+	PersistErrors     int64         `json:"persist_errors,omitempty"`
+	States            map[State]int `json:"states"`
+	Workers           int           `json:"workers"`
+	UptimeSeconds     float64       `json:"uptime_seconds"`
+	SessionsPerSec    float64       `json:"sessions_per_sec"`
+	MessagesPerSec    float64       `json:"messages_per_sec"`
+}

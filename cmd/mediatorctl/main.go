@@ -1,0 +1,469 @@
+// Command mediatorctl is the operator CLI for a mediatord session farm,
+// built purely on the typed SDK (pkg/client) against the versioned /v1
+// contract (package api) — it performs no hand-rolled HTTP.
+//
+//	mediatorctl -addr http://127.0.0.1:8080 <command> [flags] [args]
+//
+// Commands:
+//
+//	session create   create a play (-n -k -t -variant ...); -types submits
+//	                 the profile too, -watch follows it to a terminal state
+//	session get      one session snapshot (-wait long-polls to terminal)
+//	session list     page sessions (-state -offset -limit; -all walks pages)
+//	session types    submit a type profile: session types s-000001 0,0,0,0,0
+//	session watch    follow one session to its terminal snapshot
+//	experiment list  the catalog (e1..e8)
+//	experiment run   run an experiment: async job by default (-no-wait to
+//	                 just print the job handle), -sync for in-request
+//	experiment get   one job snapshot (-wait long-polls to terminal)
+//	stats            farm-wide aggregate statistics
+//	events tail      stream state transitions (-session -kind) as JSON lines
+//	ready            readiness probe (exit 1 when not ready)
+//	apidoc           print the generated /v1 API reference (markdown)
+//
+// Every command prints JSON on stdout, so output composes with jq. The
+// daemon address can also come from the MEDIATORD_ADDR environment
+// variable; the flag wins.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"asyncmediator/api"
+	"asyncmediator/pkg/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one CLI invocation; it is the testable entry point.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mediatorctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	defaultAddr := os.Getenv("MEDIATORD_ADDR")
+	if defaultAddr == "" {
+		defaultAddr = "http://127.0.0.1:8080"
+	}
+	addr := fs.String("addr", defaultAddr, "mediatord base URL (or MEDIATORD_ADDR)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall command deadline")
+	retries := fs.Int("retries", 3, "retries for transient failures (backpressure, transport)")
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(stderr, fs)
+		return 2
+	}
+
+	if rest[0] == "apidoc" { // needs no daemon
+		fmt.Fprint(stdout, api.Reference())
+		return 0
+	}
+
+	c, err := client.New(*addr, client.WithRetries(*retries))
+	if err != nil {
+		fmt.Fprintln(stderr, "mediatorctl:", err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	err = dispatch(ctx, c, rest, stdout, stderr)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errUsage):
+		return 2
+	default:
+		fmt.Fprintln(stderr, "mediatorctl:", err)
+		return 1
+	}
+}
+
+// errUsage marks a malformed command line (exit code 2, message already
+// printed).
+var errUsage = errors.New("usage")
+
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
+	fmt.Fprintln(w, "commands: session create|get|list|types|watch, experiment list|run|get,")
+	fmt.Fprintln(w, "          stats, events tail, ready, apidoc")
+	fmt.Fprintln(w, "flags:")
+	fs.PrintDefaults()
+}
+
+// dispatch routes noun/verb to its handler.
+func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	bad := func(format string, a ...any) error {
+		fmt.Fprintf(stderr, "mediatorctl: "+format+"\n", a...)
+		return errUsage
+	}
+	switch args[0] {
+	case "session":
+		if len(args) < 2 {
+			return bad("session needs a verb: create|get|list|types|watch")
+		}
+		switch args[1] {
+		case "create":
+			return sessionCreate(ctx, c, args[2:], stdout, stderr)
+		case "get":
+			return sessionGet(ctx, c, args[2:], stdout, stderr)
+		case "list":
+			return sessionList(ctx, c, args[2:], stdout, stderr)
+		case "types":
+			return sessionTypes(ctx, c, args[2:], stdout, stderr)
+		case "watch":
+			return sessionWatch(ctx, c, args[2:], stdout, stderr)
+		default:
+			return bad("unknown session verb %q", args[1])
+		}
+	case "experiment":
+		if len(args) < 2 {
+			return bad("experiment needs a verb: list|run|get")
+		}
+		switch args[1] {
+		case "list":
+			cat, err := c.Catalog(ctx)
+			if err != nil {
+				return err
+			}
+			return printJSON(stdout, cat)
+		case "run":
+			return experimentRun(ctx, c, args[2:], stdout, stderr)
+		case "get":
+			return experimentGet(ctx, c, args[2:], stdout, stderr)
+		default:
+			return bad("unknown experiment verb %q", args[1])
+		}
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, st)
+	case "events":
+		if len(args) < 2 || args[1] != "tail" {
+			return bad("events needs the tail verb")
+		}
+		return eventsTail(ctx, c, args[2:], stdout, stderr)
+	case "ready":
+		if err := c.Ready(ctx); err != nil {
+			return err
+		}
+		return printJSON(stdout, api.Readiness{Ready: true})
+	default:
+		return bad("unknown command %q", args[0])
+	}
+}
+
+// printJSON renders one value as indented JSON on the command's stdout.
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func sessionCreate(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session create", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var spec api.SessionSpec
+	fs.StringVar(&spec.Game, "game", "", "game: section64 (default) or consensus")
+	fs.IntVar(&spec.N, "n", 0, "players (0: default 5)")
+	fs.IntVar(&spec.K, "k", 0, "coalition bound")
+	fs.IntVar(&spec.T, "t", 0, "malicious bound (0 with k=0: default t=1)")
+	fs.StringVar(&spec.Variant, "variant", "", "theorem: 4.1 (default), 4.2, 4.4, 4.5")
+	fs.StringVar(&spec.Scheduler, "scheduler", "", "sim scheduler: roundrobin (default), random, fifo")
+	fs.StringVar(&spec.Backend, "backend", "", "backend: sim (default) or wire")
+	fs.IntVar(&spec.MaxSteps, "max-steps", 0, "simulated step bound (0: default)")
+	seed := fs.String("seed", "", "session seed (empty: derived deterministically)")
+	types := fs.String("types", "", "comma-separated type profile; submits after create")
+	watch := fs.Bool("watch", false, "after submitting types, wait for the terminal snapshot")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	seedp, err := parseSeed(*seed, stderr)
+	if err != nil {
+		return err
+	}
+	spec.Seed = seedp
+	if *watch && *types == "" {
+		fmt.Fprintln(stderr, "mediatorctl: -watch needs -types")
+		return errUsage
+	}
+	h, err := c.CreateSession(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if *types == "" {
+		return printJSON(stdout, h)
+	}
+	profile, err := parseTypes(*types)
+	if err != nil {
+		fmt.Fprintln(stderr, "mediatorctl:", err)
+		return errUsage
+	}
+	if h, err = c.SubmitTypes(ctx, h.ID, profile); err != nil {
+		return err
+	}
+	if !*watch {
+		return printJSON(stdout, h)
+	}
+	v, err := c.WaitSession(ctx, h.ID)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func sessionGet(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session get", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wait := fs.Bool("wait", false, "long-poll until the session is terminal")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "mediatorctl: session get needs exactly one session id")
+		return errUsage
+	}
+	var v api.SessionView
+	if *wait {
+		v, err = c.WaitSession(ctx, pos[0])
+	} else {
+		v, err = c.GetSession(ctx, pos[0])
+	}
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func sessionList(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	state := fs.String("state", "", "filter by lifecycle state")
+	offset := fs.Int("offset", 0, "page cursor")
+	limit := fs.Int("limit", 0, "page size (0: server default)")
+	all := fs.Bool("all", false, "walk every page (ignores -offset)")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	if *all {
+		var views []api.SessionView
+		err := c.EachSession(ctx, client.ListSessionsOptions{State: *state, Limit: *limit}, func(v api.SessionView) error {
+			views = append(views, v)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, views)
+	}
+	page, err := c.ListSessions(ctx, client.ListSessionsOptions{State: *state, Offset: *offset, Limit: *limit})
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, page)
+}
+
+func sessionTypes(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session types", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 2 {
+		fmt.Fprintln(stderr, "mediatorctl: usage: session types <id> <t0,t1,...>")
+		return errUsage
+	}
+	profile, err := parseTypes(pos[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "mediatorctl:", err)
+		return errUsage
+	}
+	h, err := c.SubmitTypes(ctx, pos[0], profile)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, h)
+}
+
+func sessionWatch(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "mediatorctl: session watch needs exactly one session id")
+		return errUsage
+	}
+	v, err := c.WaitSession(ctx, pos[0])
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func experimentRun(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiment run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	trials := fs.Int("trials", 0, "trials per estimate (0: server quick default)")
+	seed := fs.String("seed", "", "base seed (empty: server default)")
+	maxSteps := fs.Int("max-steps", 0, "per-run step bound (0: server default)")
+	sync := fs.Bool("sync", false, "run synchronously in the request instead of as a job")
+	noWait := fs.Bool("no-wait", false, "async only: print the job handle instead of waiting")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "mediatorctl: experiment run needs exactly one experiment name (e1..e8)")
+		return errUsage
+	}
+	name := pos[0]
+	seedp, err := parseSeed(*seed, stderr)
+	if err != nil {
+		return err
+	}
+	if *sync {
+		tab, err := c.RunExperiment(ctx, name, client.RunOptions{Trials: *trials, Seed: seedp, MaxSteps: *maxSteps})
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, tab)
+	}
+	req := api.ExperimentRequest{Experiment: name, Trials: *trials, Seed: seedp, MaxSteps: *maxSteps}
+	if *noWait {
+		h, err := c.CreateJob(ctx, req)
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, h)
+	}
+	v, err := c.RunJob(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func experimentGet(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiment get", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wait := fs.Bool("wait", false, "long-poll until the job is terminal")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "mediatorctl: experiment get needs exactly one job id (x-...)")
+		return errUsage
+	}
+	var v api.ExperimentJobView
+	if *wait {
+		v, err = c.WaitJob(ctx, pos[0])
+	} else {
+		v, err = c.GetJob(ctx, pos[0])
+	}
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, v)
+}
+
+func eventsTail(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("events tail", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	session := fs.String("session", "", "narrow to one session id")
+	kind := fs.String("kind", "", "narrow to one namespace: session or experiment")
+	count := fs.Int("n", 0, "exit after N events (0: stream until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	stream, err := c.StreamEvents(ctx, client.StreamOptions{Session: *session, Kind: *kind})
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	enc := json.NewEncoder(stdout)
+	if err := enc.Encode(stream.Hello()); err != nil {
+		return err
+	}
+	for seen := 0; *count == 0 || seen < *count; seen++ {
+		e, err := stream.Next()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, io.EOF) {
+				return nil // interrupted or farm shut down: a clean end of tail
+			}
+			return err
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseMixed parses a subcommand line that may put positional arguments
+// before the flags (the natural "experiment run e8 -trials 2" order):
+// leading non-flag tokens are collected, the remainder is flag-parsed,
+// and trailing positionals are appended.
+func parseMixed(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, errUsage
+	}
+	return append(pos, fs.Args()...), nil
+}
+
+// parseSeed parses an optional -seed flag value ("" means nil: let the
+// server pick).
+func parseSeed(s string, stderr io.Writer) (*int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "mediatorctl: bad -seed %q\n", s)
+		return nil, errUsage
+	}
+	return &v, nil
+}
+
+// parseTypes parses a comma-separated type profile ("0,1,0").
+func parseTypes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad type profile %q (want comma-separated integers)", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,38 +1,46 @@
 // Command mediatord is the session-farm daemon: one long-running process
-// hosting many concurrent cheap-talk plays behind an HTTP/JSON API. It is
-// the serving-layer counterpart of the paper's claim — the trusted
-// mediator is replaced by a protocol, and this daemon is where thousands
-// of such protocol sessions run side by side.
+// hosting many concurrent cheap-talk plays behind the versioned /v1
+// HTTP/JSON API (package api). It is the serving-layer counterpart of
+// the paper's claim — the trusted mediator is replaced by a protocol,
+// and this daemon is where thousands of such protocol sessions run side
+// by side.
 //
 // Start the daemon (durable: sessions survive restarts in -data-dir):
 //
 //	mediatord -addr :8080 -workers 8 -data-dir /var/lib/mediatord -max-live-sessions 4096
 //
-// Drive it:
+// Drive it with the typed CLI (cmd/mediatorctl, built on pkg/client):
 //
-//	curl -s -X POST localhost:8080/sessions -d '{"n":5,"t":1,"variant":"4.1"}'
-//	curl -s -X POST localhost:8080/sessions/s-000001/types -d '{"types":[0,0,0,0,0]}'
-//	curl -s 'localhost:8080/sessions/s-000001?wait=30s'   # long-poll to terminal
-//	curl -s 'localhost:8080/sessions?state=done&limit=20' # paginate, memory + store
-//	curl -sN localhost:8080/events                        # SSE state transitions
-//	curl -s localhost:8080/stats
-//	curl -s localhost:8080/metrics                        # Prometheus text format
+//	mediatorctl session create -n 5 -t 1 -variant 4.1 -types 0,0,0,0,0 -watch
+//	mediatorctl session list -state done
+//	mediatorctl experiment run e1 -trials 50
+//	mediatorctl events tail
+//	mediatorctl stats
 //
-// The farm also serves the paper's experiment suite through the same
-// worker pool that hosts the plays (the sharded engine of
-// internal/sim, shared with cmd/mediatorsim):
+// or raw /v1 (see api.Reference, printed by `mediatorctl apidoc`):
 //
-//	curl -s localhost:8080/experiments                      # catalog e1..e8
-//	curl -s 'localhost:8080/experiments/e1?trials=12&seed=1' # one JSON table, sync
-//	curl -s -X POST localhost:8080/experiments -d '{"experiment":"e1","trials":50}'
-//	curl -s 'localhost:8080/experiments/x-000001?wait=30s'   # poll the async job
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"n":5,"t":1,"variant":"4.1"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s-000001/types -d '{"types":[0,0,0,0,0]}'
+//	curl -s 'localhost:8080/v1/sessions/s-000001?wait=30s' # long-poll to terminal
+//	curl -s 'localhost:8080/v1/sessions?state=done&limit=20'
+//	curl -sN localhost:8080/v1/events                      # SSE state transitions
+//	curl -s 'localhost:8080/v1/experiments/e1?trials=12'   # sync sweep
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"e1","trials":50}'
+//	curl -s 'localhost:8080/v1/jobs/x-000001?wait=30s'     # poll the async job
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics                         # Prometheus text format
+//	curl -s localhost:8080/readyz                          # LB readiness gate
+//
+// The pre-/v1 unversioned routes remain for one release as deprecated
+// aliases (Deprecation: true response header).
 //
 // Or measure throughput without the HTTP layer:
 //
 //	mediatord -bench 512 -workers 8
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, queued
-// and in-flight sessions finish, then the process exits.
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503 so
+// load balancers drain, the listener stops, queued and in-flight
+// sessions finish, then the process exits.
 package main
 
 import (
@@ -66,6 +74,7 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable store directory; terminal sessions and experiment jobs survive restarts (empty: in-memory only)")
 	maxLive := fs.Int("max-live-sessions", 0, "bound on in-memory sessions; terminal sessions beyond it evict to the store (0: unlimited)")
 	snapEvery := fs.Int("snapshot-every", 0, "WAL records between compacted store snapshots (0: store default)")
+	quiet := fs.Bool("quiet", false, "disable the per-request HTTP log")
 	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
 	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
 	benchN := fs.Int("bench-n", 5, "benchmark players per session")
@@ -95,7 +104,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		BaseSeed:        *seed,
@@ -103,7 +112,11 @@ func run(args []string) error {
 		DataDir:         *dataDir,
 		MaxLiveSessions: *maxLive,
 		SnapshotEvery:   *snapEvery,
-	})
+	}
+	if !*quiet {
+		cfg.RequestLog = log.Printf
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		return err
 	}

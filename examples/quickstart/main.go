@@ -7,15 +7,28 @@
 // game jointly evaluate the mediator's circuit with asynchronous cheap
 // talk (Theorem 4.1: n > 4k+4t with k=1, t=0), obtaining the same outcome
 // distribution with no trusted party.
+//
+// Part 3 serves the mediator-free play: a session farm comes up on a
+// loopback port and is driven end to end through the typed SDK
+// (pkg/client) against the versioned /v1 API — create session, submit
+// types, wait for the terminal snapshot — exactly what a remote consumer
+// of a mediatord daemon would do.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/core"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/service"
+	"asyncmediator/pkg/client"
 )
 
 func main() {
@@ -82,5 +95,55 @@ func run() error {
 	fmt.Printf("  outcome distribution: %v\n", ct)
 	fmt.Printf("  every profile is unanimous: the %d players agreed on the lottery bit\n", n)
 	fmt.Println("  (the bit was computed jointly; no player or scheduler ever saw it early)")
+
+	// --- Part 3: the same play, served --------------------------------
+	// Boot a farm on a loopback port and drive it purely through the
+	// typed SDK: no hand-rolled HTTP, every body an api type.
+	return serveAndPlay()
+}
+
+// serveAndPlay hosts a session farm in-process and round-trips one play
+// through pkg/client, the way any external consumer of mediatord would.
+func serveAndPlay() error {
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	if err := c.Ready(ctx); err != nil {
+		return err
+	}
+	// One call: create -> submit types -> long-poll to terminal. The
+	// zero spec is the farm's default serving configuration (n=5, t=1,
+	// Theorem 4.1 on the Section 6.4 game).
+	view, err := c.PlaySession(ctx, api.SessionSpec{}, make([]int, 5))
+	if err != nil {
+		return err
+	}
+	if view.State != api.StateDone {
+		return fmt.Errorf("served play ended %s: %s", view.State, view.Error)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nThe same play, served over the /v1 API (session farm + typed SDK):")
+	fmt.Printf("  session %s: state=%s profile=%v in %d steps, %d messages\n",
+		view.ID, view.State, view.Profile, view.Steps, view.MsgsSent)
+	fmt.Printf("  farm stats: %d session(s) completed, %d worker(s)\n", st.Sessions, st.Workers)
 	return nil
 }

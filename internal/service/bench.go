@@ -62,7 +62,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 	defer svc.Close() // idempotent; also covers the error returns below
 	spec := cfg.Spec
 	spec.Seed = nil
-	spec.normalize()
+	normalizeSpec(&spec)
 
 	// Validate once so a bad spec fails before the clock starts.
 	params, err := buildParams(spec)
@@ -87,7 +87,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 		<-sess.Done()
 	}
 	elapsed := time.Since(start)
-	tot := svc.Stats().Totals
+	tot := svc.Stats().StatsTotals
 
 	res := &BenchResult{
 		Sessions:      cfg.Sessions,
@@ -112,7 +112,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 // so farm throughput lands in the same perf trajectory as E1-E8.
 func (r *BenchResult) Table(cfg BenchConfig) *sim.Table {
 	spec := cfg.Spec
-	spec.normalize()
+	normalizeSpec(&spec)
 	t := &sim.Table{
 		Title:  "ES: service throughput (session farm)",
 		Header: []string{"game", "backend", "n", "k", "t", "variant", "sessions", "sessions/sec", "msgs/sec", "msgs/play"},

@@ -1,24 +1,43 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/sim"
 )
 
-// ExpRequest is the body of POST /experiments: which catalog experiment to
-// run and with what options. Zero values take sim.QuickOptions defaults.
-type ExpRequest struct {
-	// Experiment is the catalog id ("e1".."e8").
-	Experiment string `json:"experiment"`
-	// Trials per Monte-Carlo estimate (0: quick default).
-	Trials int `json:"trials,omitempty"`
-	// Seed is the sweep's base seed (nil: quick default).
-	Seed *int64 `json:"seed,omitempty"`
-	// MaxSteps bounds each simulated run (0: quick default).
-	MaxSteps int `json:"max_steps,omitempty"`
+// ErrUnknownExperiment marks a reference to a catalog name the engine
+// does not know — not_found on every route that takes one, whether the
+// name arrives in the path (sync run) or the body (job creation), so
+// clients see one stable code for the same mistake.
+var ErrUnknownExperiment = errors.New("service: unknown experiment")
+
+// The wire shapes of experiment jobs come from the api contract.
+type (
+	// ExpRequest is the body of POST /v1/jobs (api.ExperimentRequest).
+	// Zero values take sim.QuickOptions defaults.
+	ExpRequest = api.ExperimentRequest
+	// ExpView is a snapshot of an experiment job (api.ExperimentJobView)
+	// — the shape served by GET /v1/jobs/{id} and persisted to the store.
+	ExpView = api.ExperimentJobView
+)
+
+// tableView renders an engine result in the wire contract's Table shape
+// (a field-for-field copy: the JSON encodings are identical, so persisted
+// records from earlier daemon generations still decode).
+func tableView(t *sim.Table) *api.Table {
+	if t == nil {
+		return nil
+	}
+	v := &api.Table{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	for _, ce := range t.Errors {
+		v.Errors = append(v.Errors, api.CellError{Cell: ce.Cell, Err: ce.Err})
+	}
+	return v
 }
 
 // ExpJob is one asynchronous experiment sweep hosted by the farm — the
@@ -67,21 +86,6 @@ func (j *ExpJob) finish(table *sim.Table, err error) {
 	close(j.done)
 }
 
-// ExpView is a JSON-renderable snapshot of an experiment job — the shape
-// served by GET /experiments/{id} and persisted to the store.
-type ExpView struct {
-	ID         string     `json:"id"`
-	Experiment string     `json:"experiment"`
-	State      State      `json:"state"`
-	Trials     int        `json:"trials"`
-	Seed0      int64      `json:"seed0"`
-	MaxSteps   int        `json:"max_steps"`
-	Table      *sim.Table `json:"table,omitempty"`
-	// DurationSeconds is the wall time of the sweep (terminal states only).
-	DurationSeconds float64 `json:"duration_seconds,omitempty"`
-	Error           string  `json:"error,omitempty"`
-}
-
 // Snapshot returns a consistent view of the job.
 func (j *ExpJob) Snapshot() ExpView {
 	j.mu.Lock()
@@ -95,7 +99,7 @@ func (j *ExpJob) Snapshot() ExpView {
 		MaxSteps:   j.opts.MaxSteps,
 	}
 	if j.state == StateDone {
-		v.Table = j.table
+		v.Table = tableView(j.table)
 	}
 	if j.state.Terminal() {
 		v.DurationSeconds = j.finished.Sub(j.created).Seconds()
@@ -132,7 +136,7 @@ func validExperiment(id string) bool {
 // ErrQueueFull is returned so the client backs off.
 func (s *Service) CreateExperiment(req ExpRequest) (*ExpJob, error) {
 	if !validExperiment(req.Experiment) {
-		return nil, fmt.Errorf("service: unknown experiment %q (want %v)", req.Experiment, sim.IDs())
+		return nil, fmt.Errorf("%w %q (want %v)", ErrUnknownExperiment, req.Experiment, sim.IDs())
 	}
 	o := sim.QuickOptions()
 	if req.Trials > 0 {
@@ -209,7 +213,7 @@ func (s *Service) persistExp(v ExpView) {
 	if s.st == nil {
 		return
 	}
-	data, err := v.MarshalBinary()
+	data, err := marshalView(v)
 	if err == nil {
 		err = s.st.Put(v.ID, data)
 	}
@@ -240,7 +244,7 @@ func (s *Service) LookupExperiment(id string) (ExpView, bool) {
 		return ExpView{}, false
 	}
 	var v ExpView
-	if err := v.UnmarshalBinary(data); err != nil {
+	if err := unmarshalView(data, &v); err != nil {
 		return ExpView{}, false
 	}
 	return v, true
@@ -262,7 +266,7 @@ func (s *Service) recoverExperiments() {
 			s.expNext = seq
 		}
 		var v ExpView
-		if err := v.UnmarshalBinary(data); err != nil {
+		if err := unmarshalView(data, &v); err != nil {
 			return nil
 		}
 		if !v.State.Terminal() {

@@ -10,42 +10,17 @@ import (
 	"strings"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/game"
+	"asyncmediator/internal/pool"
 	"asyncmediator/internal/sim"
 )
 
 // ErrNotFound marks a lookup of an unknown session id.
 var ErrNotFound = errors.New("service: no such session")
 
-// maxWait caps the long-poll hold time.
-const maxWait = 60 * time.Second
-
-// typesRequest is the body of POST /sessions/{id}/types.
-type typesRequest struct {
-	Types []int `json:"types"`
-}
-
-// createResponse is the body returned by POST /sessions and POST
-// /experiments.
-type createResponse struct {
-	ID    string `json:"id"`
-	State State  `json:"state"`
-	Seed  int64  `json:"seed,omitempty"`
-}
-
-// listResponse is the body of GET /sessions: one page plus the total match
-// count so clients can walk the collection.
-type listResponse struct {
-	Total    int    `json:"total"`
-	Offset   int    `json:"offset"`
-	Limit    int    `json:"limit"`
-	Sessions []View `json:"sessions"`
-}
-
-// errorResponse is every error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// maxWait caps the long-poll hold time (the contract's MaxWaitSeconds).
+const maxWait = api.MaxWaitSeconds * time.Second
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -53,174 +28,240 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeAPIError renders the contract's error envelope with the status
+// its code maps to.
+func writeAPIError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Code.HTTPStatus(), api.ErrorEnvelope{Error: e})
 }
 
-// Handler returns the farm's HTTP/JSON API:
+// apiError classifies a service error into the contract's code set. The
+// farm's sentinels map to their stable codes; anything unrecognized takes
+// the caller's fallback (what kind of request-shaped failure the handler
+// was performing).
+func apiError(err error, fallback api.ErrorCode) *api.Error {
+	var ae *api.Error
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownExperiment):
+		return api.Errorf(api.CodeNotFound, "%v", err)
+	case errors.Is(err, ErrBadTypes):
+		return api.Errorf(api.CodeInvalidArgument, "%v", err)
+	case errors.Is(err, ErrConflict):
+		return api.Errorf(api.CodeConflict, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		return api.Errorf(api.CodePoolSaturated, "%v", err)
+	case errors.Is(err, pool.ErrClosed):
+		return api.Errorf(api.CodeNotReady, "%v", err)
+	default:
+		return api.Errorf(fallback, "%v", err)
+	}
+}
+
+// Handler returns the farm's HTTP/JSON API. The versioned surface (see
+// package api, and api.Routes for the full table) lives under /v1:
 //
-//	POST /sessions             create a session (body: Spec)
-//	GET  /sessions             page sessions across memory + store
-//	                           (?state=done&offset=0&limit=50)
-//	GET  /sessions/{id}        session snapshot; ?wait=30s long-polls
-//	                           until the session is terminal
-//	POST /sessions/{id}/types  submit the realized type profile and run
-//	GET  /events               server-sent event stream of session and
-//	                           experiment state transitions
-//	                           (?session=s-000001 or ?kind=experiment)
-//	GET  /experiments          catalog of the paper's experiments (e1..e8)
-//	POST /experiments          create a persisted async experiment job
-//	                           (body: ExpRequest), runs on the shared pool
-//	GET  /experiments/{id}     job snapshot for x-… ids (?wait= long-poll);
-//	                           catalog ids (e1..e8) run synchronously
-//	                           (?trials=&seed=&maxsteps=) as before
-//	GET  /stats                farm-wide aggregate statistics
-//	GET  /metrics              Prometheus text exposition
-//	GET  /healthz              liveness
+//	POST /v1/sessions             create a session (body: api.SessionSpec)
+//	GET  /v1/sessions             page sessions across memory + store
+//	                              (?state=done&offset=0&limit=50)
+//	GET  /v1/sessions/{id}        session snapshot; ?wait=30s long-polls
+//	POST /v1/sessions/{id}/types  submit the realized type profile and run
+//	GET  /v1/events               SSE stream of state transitions
+//	GET  /v1/experiments          catalog of the paper's experiments
+//	GET  /v1/experiments/{name}   run a catalog experiment synchronously
+//	POST /v1/jobs                 create a persisted async experiment job
+//	GET  /v1/jobs/{id}            job snapshot; ?wait= long-polls
+//	GET  /v1/stats                farm-wide aggregate statistics
+//
+// plus unversioned infrastructure (GET /metrics Prometheus exposition,
+// GET /healthz liveness, GET /readyz readiness) and, for one release,
+// the pre-/v1 unversioned routes as deprecated aliases (marked with a
+// Deprecation header; GET /experiments/{id} keeps its legacy dual mode).
+// Everything is wrapped in the middleware stack: panic recovery,
+// request-id injection/propagation, per-request logging.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
-		var spec Spec
-		if err := decodeBody(r, &spec); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		sess, err := s.CreateSession(spec)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID, State: StateAwaitingTypes, Seed: sess.Seed()})
+	// The versioned contract.
+	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET "+api.Prefix+"/sessions", s.handleSessionList)
+	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST "+api.Prefix+"/sessions/{id}/types", s.handleTypesSubmit)
+	mux.HandleFunc("GET "+api.Prefix+"/events", s.serveEvents)
+	mux.HandleFunc("GET "+api.Prefix+"/experiments", s.handleCatalog)
+	mux.HandleFunc("GET "+api.Prefix+"/experiments/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s.serveExperimentSync(w, r, r.PathValue("name"))
 	})
-
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
-		state := r.URL.Query().Get("state")
-		if state != "" && !knownState(state) {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: unknown state %q", state))
-			return
-		}
-		offset, err := queryBoundedInt(r, "offset", 0, 0)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		limit, err := queryBoundedInt(r, "limit", 50, 1)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if limit > 1000 {
-			limit = 1000
-		}
-		total, page := s.ListSessions(state, offset, limit)
-		writeJSON(w, http.StatusOK, listResponse{Total: total, Offset: offset, Limit: limit, Sessions: page})
+	mux.HandleFunc("POST "+api.Prefix+"/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET "+api.Prefix+"/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.serveExperimentJob(w, r, r.PathValue("id"))
 	})
+	mux.HandleFunc("GET "+api.Prefix+"/stats", s.handleStats)
 
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		wait, err := parseWait(r)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		id := r.PathValue("id")
-		if sess, ok := s.Session(id); ok {
-			if wait > 0 && !sess.stateNow().Terminal() {
-				s.waitOn(r.Context(), sess.Done(), wait)
-			}
-			writeJSON(w, http.StatusOK, sess.Snapshot())
-			return
-		}
-		// Evicted terminal sessions live on in the store.
-		if v, ok := s.Lookup(id); ok {
-			writeJSON(w, http.StatusOK, v)
-			return
-		}
-		writeErr(w, http.StatusNotFound, ErrNotFound)
-	})
-
-	mux.HandleFunc("POST /sessions/{id}/types", func(w http.ResponseWriter, r *http.Request) {
-		var req typesRequest
-		if err := decodeBody(r, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		types := make([]game.Type, len(req.Types))
-		for i, t := range req.Types {
-			types[i] = game.Type(t)
-		}
-		sess, err := s.SubmitTypes(r.PathValue("id"), types)
-		switch {
-		case errors.Is(err, ErrNotFound):
-			writeErr(w, http.StatusNotFound, err)
-			return
-		case errors.Is(err, ErrBadTypes):
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		case errors.Is(err, ErrQueueFull):
-			writeErr(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil: // lifecycle conflict: types already submitted
-			writeErr(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, createResponse{ID: sess.ID, State: sess.stateNow(), Seed: sess.Seed()})
-	})
-
-	mux.HandleFunc("GET /events", s.serveEvents)
-
-	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Catalog()})
-	})
-
-	mux.HandleFunc("POST /experiments", func(w http.ResponseWriter, r *http.Request) {
-		var req ExpRequest
-		if err := decodeBody(r, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		job, err := s.CreateExperiment(req)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			writeErr(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil:
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, createResponse{ID: job.ID, State: job.stateNow()})
-	})
-
-	mux.HandleFunc("GET /experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if strings.HasPrefix(id, experimentKeyPrefix) {
-			s.serveExperimentJob(w, r, id)
-			return
-		}
-		s.serveExperimentSync(w, r, id)
-	})
-
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
-	})
-
+	// Unversioned infrastructure: scrape and probe endpoints stay where
+	// fleet tooling expects them.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeMetrics(w, s.Stats())
 	})
-
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := s.Readiness()
+		if !rd.Ready {
+			writeJSON(w, http.StatusServiceUnavailable, rd)
+			return
+		}
+		writeJSON(w, http.StatusOK, rd)
 	})
 
-	return mux
+	// Deprecated pre-/v1 aliases (one release): same handlers, same
+	// bodies, flagged by a Deprecation response header.
+	mux.HandleFunc("POST /sessions", deprecated(api.Prefix+"/sessions", s.handleSessionCreate))
+	mux.HandleFunc("GET /sessions", deprecated(api.Prefix+"/sessions", s.handleSessionList))
+	mux.HandleFunc("GET /sessions/{id}", deprecated(api.Prefix+"/sessions/{id}", s.handleSessionGet))
+	mux.HandleFunc("POST /sessions/{id}/types", deprecated(api.Prefix+"/sessions/{id}/types", s.handleTypesSubmit))
+	mux.HandleFunc("GET /events", deprecated(api.Prefix+"/events", s.serveEvents))
+	mux.HandleFunc("GET /experiments", deprecated(api.Prefix+"/experiments", s.handleCatalog))
+	mux.HandleFunc("POST /experiments", deprecated(api.Prefix+"/jobs", s.handleJobCreate))
+	mux.HandleFunc("GET /stats", deprecated(api.Prefix+"/stats", s.handleStats))
+	// The legacy dual-mode route: x-… ids are async jobs, catalog names
+	// run synchronously. Under /v1 these are two distinct routes, so ids
+	// and names no longer share a namespace.
+	mux.HandleFunc("GET /experiments/{id}", deprecated(api.Prefix+"/experiments/{name} or "+api.Prefix+"/jobs/{id}",
+		func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			if strings.HasPrefix(id, experimentKeyPrefix) {
+				s.serveExperimentJob(w, r, id)
+				return
+			}
+			s.serveExperimentSync(w, r, id)
+		}))
+
+	return withMiddleware(mux, s.cfg.RequestLog)
 }
 
-// serveExperimentJob answers GET /experiments/x-… — the async-job view,
+// handleSessionCreate answers POST /v1/sessions.
+func (s *Service) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if e := decodeBody(w, r, &spec); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	sess, err := s.CreateSession(spec)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.Handle{ID: sess.ID, State: StateAwaitingTypes, Seed: sess.Seed()})
+}
+
+// handleSessionList answers GET /v1/sessions with one page of the
+// id-sorted collection.
+func (s *Service) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	if state != "" && !api.KnownState(state) {
+		writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "unknown state %q", state).WithDetail("param", "state"))
+		return
+	}
+	offset, e := queryBoundedInt(r, "offset", 0, 0)
+	if e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	limit, e := queryBoundedInt(r, "limit", api.DefaultPageLimit, 1)
+	if e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	if limit > api.MaxPageLimit {
+		limit = api.MaxPageLimit
+	}
+	total, page := s.ListSessions(state, offset, limit)
+	writeJSON(w, http.StatusOK, api.SessionPage{
+		PageInfo: api.NewPageInfo(total, offset, limit, len(page)),
+		Sessions: page,
+	})
+}
+
+// handleSessionGet answers GET /v1/sessions/{id}; ?wait= long-polls
+// until the session is terminal.
+func (s *Service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	wait, e := parseWait(r)
+	if e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	id := r.PathValue("id")
+	if sess, ok := s.Session(id); ok {
+		if wait > 0 && !sess.stateNow().Terminal() {
+			s.waitOn(r.Context(), sess.Done(), wait)
+		}
+		writeJSON(w, http.StatusOK, sess.Snapshot())
+		return
+	}
+	// Evicted terminal sessions live on in the store.
+	if v, ok := s.Lookup(id); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	writeAPIError(w, api.Errorf(api.CodeNotFound, "no such session %s", id))
+}
+
+// handleTypesSubmit answers POST /v1/sessions/{id}/types.
+func (s *Service) handleTypesSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.TypesRequest
+	if e := decodeBody(w, r, &req); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	types := make([]game.Type, len(req.Types))
+	for i, t := range req.Types {
+		types[i] = game.Type(t)
+	}
+	sess, err := s.SubmitTypes(r.PathValue("id"), types)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInternal))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.Handle{ID: sess.ID, State: sess.stateNow(), Seed: sess.Seed()})
+}
+
+// handleCatalog answers GET /v1/experiments.
+func (s *Service) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	var resp api.CatalogResponse
+	for _, e := range sim.Catalog() {
+		resp.Experiments = append(resp.Experiments, api.ExperimentInfo{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobCreate answers POST /v1/jobs.
+func (s *Service) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req ExpRequest
+	if e := decodeBody(w, r, &req); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	job, err := s.CreateExperiment(req)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.Handle{ID: job.ID, State: job.stateNow()})
+}
+
+// handleStats answers GET /v1/stats.
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// serveExperimentJob answers GET /v1/jobs/{id} — the async-job view,
 // with optional long-poll.
 func (s *Service) serveExperimentJob(w http.ResponseWriter, r *http.Request, id string) {
-	wait, err := parseWait(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	wait, e := parseWait(r)
+	if e != nil {
+		writeAPIError(w, e)
 		return
 	}
 	if job, ok := s.ExperimentJob(id); ok {
@@ -234,20 +275,20 @@ func (s *Service) serveExperimentJob(w http.ResponseWriter, r *http.Request, id 
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	writeErr(w, http.StatusNotFound, fmt.Errorf("service: no such experiment job %s", id))
+	writeAPIError(w, api.Errorf(api.CodeNotFound, "no such experiment job %s", id))
 }
 
-// serveExperimentSync answers GET /experiments/e1..e8 — the original
-// synchronous sweep-in-request path.
-func (s *Service) serveExperimentSync(w http.ResponseWriter, r *http.Request, id string) {
+// serveExperimentSync answers GET /v1/experiments/{name} — the
+// synchronous sweep-in-request path for catalog experiments.
+func (s *Service) serveExperimentSync(w http.ResponseWriter, r *http.Request, name string) {
 	o := sim.QuickOptions()
-	var err error
-	if o.Trials, err = queryInt(r, "trials", o.Trials); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	var e *api.Error
+	if o.Trials, e = queryInt(r, "trials", o.Trials); e != nil {
+		writeAPIError(w, e)
 		return
 	}
-	if o.MaxSteps, err = queryInt(r, "maxsteps", o.MaxSteps); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if o.MaxSteps, e = queryInt(r, "maxsteps", o.MaxSteps); e != nil {
+		writeAPIError(w, e)
 		return
 	}
 	// Seeds are any int64 (zero and negatives included), unlike the
@@ -255,33 +296,40 @@ func (s *Service) serveExperimentSync(w http.ResponseWriter, r *http.Request, id
 	if raw := r.URL.Query().Get("seed"); raw != "" {
 		v, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad seed=%q (want an integer)", raw))
+			writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "bad seed=%q (want an integer)", raw).WithDetail("param", "seed"))
 			return
 		}
 		o.Seed0 = v
 	}
-	tab, err := s.Experiments(id, o)
+	tab, err := s.Experiments(name, o)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeAPIError(w, apiError(err, api.CodeNotFound))
 		return
 	}
-	writeJSON(w, http.StatusOK, tab)
+	writeJSON(w, http.StatusOK, tableView(tab))
 }
 
 // serveEvents streams the farm's event bus as server-sent events. The
-// first frame is an "hello" event carrying the bus's current sequence
+// first frame is a "hello" event carrying the bus's current sequence
 // number — a subscriber that reads it is guaranteed to receive every
 // event published afterwards (modulo overflow, reported via gap in seq).
 // ?session=<id> narrows to one session; ?kind=session|experiment narrows
 // to one namespace.
 func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeErr(w, http.StatusInternalServerError, errors.New("service: streaming unsupported"))
+	if !canFlush(w) {
+		writeAPIError(w, api.Errorf(api.CodeInternal, "streaming unsupported"))
 		return
 	}
+	fl := http.NewResponseController(w)
 	sessionFilter := r.URL.Query().Get("session")
 	kindFilter := r.URL.Query().Get("kind")
+	switch kindFilter {
+	case "", api.KindSession, api.KindExperiment:
+	default:
+		writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "unknown kind %q (want %s or %s)",
+			kindFilter, api.KindSession, api.KindExperiment).WithDetail("param", "kind"))
+		return
+	}
 
 	sub := s.bus.Subscribe(256)
 	defer sub.Cancel()
@@ -290,8 +338,9 @@ func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "event: hello\ndata: {\"seq\":%d}\n\n", s.bus.Seq())
-	fl.Flush()
+	hello, _ := json.Marshal(api.Hello{Seq: s.bus.Seq()})
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", api.EventNameHello, hello)
+	_ = fl.Flush()
 
 	heartbeat := time.NewTicker(15 * time.Second)
 	defer heartbeat.Stop()
@@ -307,15 +356,19 @@ func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
 			if kindFilter != "" && e.Kind != kindFilter {
 				continue
 			}
-			data, err := json.Marshal(e)
+			frame := api.Event{
+				Seq: e.Seq, Kind: e.Kind, ID: e.ID,
+				State: State(e.State), Terminal: e.Terminal, Data: e.Data,
+			}
+			data, err := json.Marshal(frame)
 			if err != nil {
 				continue
 			}
 			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Kind, e.Seq, data)
-			fl.Flush()
+			_ = fl.Flush()
 		case <-heartbeat.C:
 			fmt.Fprint(w, ": ping\n\n")
-			fl.Flush()
+			_ = fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -339,14 +392,14 @@ func (s *Service) waitOn(ctx context.Context, done <-chan struct{}, wait time.Du
 
 // parseWait parses the optional ?wait= long-poll duration, capped at
 // maxWait.
-func parseWait(r *http.Request) (time.Duration, error) {
+func parseWait(r *http.Request) (time.Duration, *api.Error) {
 	raw := r.URL.Query().Get("wait")
 	if raw == "" {
 		return 0, nil
 	}
 	d, err := time.ParseDuration(raw)
 	if err != nil || d < 0 {
-		return 0, fmt.Errorf("service: bad wait=%q (want a duration like 30s)", raw)
+		return 0, api.Errorf(api.CodeInvalidArgument, "bad wait=%q (want a duration like 30s)", raw).WithDetail("param", "wait")
 	}
 	if d > maxWait {
 		d = maxWait
@@ -355,38 +408,40 @@ func parseWait(r *http.Request) (time.Duration, error) {
 }
 
 // queryInt parses an optional integer query parameter, bounded below by 1.
-func queryInt(r *http.Request, key string, def int) (int, error) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		return def, nil
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil || v < 1 {
-		return 0, fmt.Errorf("service: bad %s=%q (want a positive integer)", key, raw)
-	}
-	return v, nil
+func queryInt(r *http.Request, key string, def int) (int, *api.Error) {
+	return queryBoundedInt(r, key, def, 1)
 }
 
 // queryBoundedInt parses an optional integer query parameter with an
 // inclusive lower bound.
-func queryBoundedInt(r *http.Request, key string, def, min int) (int, error) {
+func queryBoundedInt(r *http.Request, key string, def, min int) (int, *api.Error) {
 	raw := r.URL.Query().Get(key)
 	if raw == "" {
 		return def, nil
 	}
 	v, err := strconv.Atoi(raw)
 	if err != nil || v < min {
-		return 0, fmt.Errorf("service: bad %s=%q (want an integer >= %d)", key, raw, min)
+		return 0, api.Errorf(api.CodeInvalidArgument, "bad %s=%q (want an integer >= %d)", key, raw, min).WithDetail("param", key)
 	}
 	return v, nil
 }
 
-// decodeBody strictly decodes a JSON body into v.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeBody strictly decodes a JSON body into v: unknown fields,
+// trailing garbage, and bodies over api.MaxBodyBytes are all rejected
+// with an invalid_argument envelope.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) *api.Error {
+	r.Body = http.MaxBytesReader(w, r.Body, api.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("service: bad request body: %w", err)
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return api.Errorf(api.CodeInvalidArgument, "request body exceeds %d bytes", maxErr.Limit).WithDetail("limit_bytes", strconv.FormatInt(maxErr.Limit, 10))
+		}
+		return api.Errorf(api.CodeInvalidArgument, "bad request body: %v", err)
+	}
+	if dec.More() {
+		return api.Errorf(api.CodeInvalidArgument, "bad request body: trailing data after the JSON value")
 	}
 	return nil
 }

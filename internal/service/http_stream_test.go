@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/events"
 )
 
@@ -50,7 +51,7 @@ func TestSSEDeliversTerminalEvent(t *testing.T) {
 	svc, ts := httpFarm(t, Config{Workers: 2})
 	client := ts.Client()
 
-	var created createResponse
+	var created api.Handle
 	if code, err := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
 		t.Fatalf("create: %d %v", code, err)
 	}
@@ -71,7 +72,7 @@ func TestSSEDeliversTerminalEvent(t *testing.T) {
 	readSSE(t, scanner, deadline, func(e sseEvent) bool { return e.name == "hello" })
 
 	if code, err := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
-		typesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
+		api.TypesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
 		t.Fatalf("types: %d %v", code, err)
 	}
 
@@ -118,12 +119,12 @@ func TestLongPollWaitsForTerminal(t *testing.T) {
 	_, ts := httpFarm(t, Config{Workers: 2})
 	client := ts.Client()
 
-	var created createResponse
+	var created api.Handle
 	if code, err := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
 		t.Fatalf("create: %d %v", code, err)
 	}
 	if code, err := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
-		typesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
+		api.TypesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
 		t.Fatalf("types: %d %v", code, err)
 	}
 	var v View
@@ -134,7 +135,7 @@ func TestLongPollWaitsForTerminal(t *testing.T) {
 		t.Fatalf("long poll returned non-terminal state %s", v.State)
 	}
 	// Malformed wait is rejected.
-	var e errorResponse
+	var e api.ErrorEnvelope
 	if code, _ := getJSON(t, client, ts.URL+"/sessions/"+created.ID+"?wait=soon", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad wait: %d", code)
 	}
@@ -150,7 +151,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 	runSessions(t, svc, 9)
 	svc.pool.Close() // every terminal session spilled
 
-	var page listResponse
+	var page api.SessionPage
 	if code, err := getJSON(t, client, ts.URL+"/sessions?state=done&offset=0&limit=4", &page); err != nil || code != http.StatusOK {
 		t.Fatalf("page 1: %d %v", code, err)
 	}
@@ -159,7 +160,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 	}
 	var all []string
 	for offset := 0; offset < page.Total; offset += 4 {
-		var p listResponse
+		var p api.SessionPage
 		url := fmt.Sprintf("%s/sessions?state=done&offset=%d&limit=4", ts.URL, offset)
 		if code, err := getJSON(t, client, url, &p); err != nil || code != http.StatusOK {
 			t.Fatalf("offset %d: %d %v", offset, code, err)
@@ -182,7 +183,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 		}
 	}
 	// Filters validate.
-	var e errorResponse
+	var e api.ErrorEnvelope
 	if code, _ := getJSON(t, client, ts.URL+"/sessions?state=sideways", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad state filter: %d", code)
 	}
@@ -190,7 +191,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 		t.Fatalf("bad offset: %d", code)
 	}
 	// Unfiltered listing works too.
-	var full listResponse
+	var full api.SessionPage
 	if code, err := getJSON(t, client, ts.URL+"/sessions", &full); err != nil || code != http.StatusOK || full.Total != 9 {
 		t.Fatalf("unfiltered: %d %v total=%d", code, err, full.Total)
 	}
@@ -202,7 +203,7 @@ func TestHTTPAsyncExperiments(t *testing.T) {
 	_, ts := httpFarm(t, Config{Workers: 2})
 	client := ts.Client()
 
-	var created createResponse
+	var created api.Handle
 	code, err := postJSON(t, client, ts.URL+"/experiments", ExpRequest{Experiment: "e8", Trials: 2}, &created)
 	if err != nil || code != http.StatusCreated {
 		t.Fatalf("create job: %d %v", code, err)
@@ -218,8 +219,8 @@ func TestHTTPAsyncExperiments(t *testing.T) {
 		t.Fatalf("job view %+v", v)
 	}
 
-	var e errorResponse
-	if code, _ := postJSON(t, client, ts.URL+"/experiments", ExpRequest{Experiment: "nope"}, &e); code != http.StatusBadRequest {
+	var e api.ErrorEnvelope
+	if code, _ := postJSON(t, client, ts.URL+"/experiments", ExpRequest{Experiment: "nope"}, &e); code != http.StatusNotFound {
 		t.Fatalf("unknown experiment: %d", code)
 	}
 	if code, _ := getJSON(t, client, ts.URL+"/experiments/x-424242", &e); code != http.StatusNotFound {

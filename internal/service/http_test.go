@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/sim"
 )
@@ -81,7 +82,7 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 				if c%3 == 0 {
 					spec = Spec{} // default serving configuration (n=5, t=1, 4.1)
 				}
-				var created createResponse
+				var created api.Handle
 				code, err := postJSON(t, client, ts.URL+"/sessions", spec, &created)
 				if err != nil {
 					return err
@@ -94,9 +95,9 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 					n = 5
 				}
 				types := make([]int, n)
-				var accepted createResponse
+				var accepted api.Handle
 				code, err = postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
-					typesRequest{Types: types}, &accepted)
+					api.TypesRequest{Types: types}, &accepted)
 				if err != nil {
 					return err
 				}
@@ -152,13 +153,13 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 		t.Fatalf("stats: %d %v", code, err)
 	}
 	if sv.Sessions != sessions || sv.Failed != 0 {
-		t.Fatalf("stats disagree: %+v", sv.Totals)
+		t.Fatalf("stats disagree: %+v", sv.StatsTotals)
 	}
 	if sv.SessionsCreated != sessions {
 		t.Fatalf("registry has %d sessions", sv.SessionsCreated)
 	}
 	if sv.MessagesSent == 0 || len(sv.Outcomes) == 0 {
-		t.Fatalf("aggregates missing: %+v", sv.Totals)
+		t.Fatalf("aggregates missing: %+v", sv.StatsTotals)
 	}
 	if got := svc.reg.Len(); got != sessions {
 		t.Fatalf("registry length %d", got)
@@ -170,7 +171,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 	client := ts.Client()
 
 	// Bad spec.
-	if code, _ := postJSON(t, client, ts.URL+"/sessions", Spec{Game: "poker"}, &errorResponse{}); code != http.StatusBadRequest {
+	if code, _ := postJSON(t, client, ts.URL+"/sessions", Spec{Game: "poker"}, &api.ErrorEnvelope{}); code != http.StatusBadRequest {
 		t.Fatalf("bad spec: status %d", code)
 	}
 	// Unknown fields rejected (strict decoding).
@@ -183,26 +184,26 @@ func TestHTTPErrorPaths(t *testing.T) {
 		t.Fatalf("unknown field: status %d", resp.StatusCode)
 	}
 	// Unknown session.
-	var e errorResponse
+	var e api.ErrorEnvelope
 	if code, _ := getJSON(t, client, ts.URL+"/sessions/s-424242", &e); code != http.StatusNotFound {
 		t.Fatalf("unknown session: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/s-424242/types", typesRequest{Types: []int{0}}, &e); code != http.StatusNotFound {
+	if code, _ := postJSON(t, client, ts.URL+"/sessions/s-424242/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusNotFound {
 		t.Fatalf("types for unknown session: status %d", code)
 	}
 	// Malformed types.
-	var created createResponse
+	var created api.Handle
 	if code, _ := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", typesRequest{Types: []int{0}}, &e); code != http.StatusBadRequest {
+	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusBadRequest {
 		t.Fatalf("short types: status %d", code)
 	}
 	// A lifecycle conflict (double submission) is a 409, not a 400.
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", typesRequest{Types: []int{0, 0, 0, 0, 0}}, nil); code != http.StatusAccepted {
+	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, nil); code != http.StatusAccepted {
 		t.Fatalf("types: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", typesRequest{Types: []int{0, 0, 0, 0, 0}}, &e); code != http.StatusConflict {
+	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, &e); code != http.StatusConflict {
 		t.Fatalf("double submission: status %d", code)
 	}
 	// Health.
@@ -237,7 +238,7 @@ func TestHTTPExperiments(t *testing.T) {
 		t.Fatalf("bad table: %+v", tab)
 	}
 
-	var e errorResponse
+	var e api.ErrorEnvelope
 	if code, _ := getJSON(t, client, ts.URL+"/experiments/e99", &e); code != http.StatusNotFound {
 		t.Fatalf("unknown experiment: status %d", code)
 	}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"asyncmediator/api"
+)
+
+// ctxKey keys the request-scoped values this package stores in contexts.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// reqCounter numbers generated request ids process-wide.
+var reqCounter atomic.Int64
+
+// reqEpoch distinguishes the ids of different daemon generations, so two
+// restarts of one farm never log the same id for different requests.
+var reqEpoch = time.Now().UnixNano() & 0xffffff
+
+// newRequestID mints a process-unique request id.
+func newRequestID() string {
+	return fmt.Sprintf("req-%06x-%06d", reqEpoch, reqCounter.Add(1))
+}
+
+// requestID returns the id the middleware bound to this request's
+// context ("" outside the middleware stack).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusWriter records the status and size of a response for the request
+// log. It deliberately does NOT implement http.Flusher itself: it
+// exposes the wrapped writer via Unwrap (the http.ResponseController
+// protocol), so streaming support is probed on the real writer rather
+// than silently faked by a no-op Flush.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController and
+// canFlush.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// canFlush reports whether the writer (unwrapped through any middleware
+// layers) can stream — the SSE handler's precondition.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		switch v := w.(type) {
+		case http.Flusher:
+			return true
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = v.Unwrap()
+		default:
+			return false
+		}
+	}
+}
+
+// withMiddleware wraps the farm's mux in the /v1 middleware stack, outer
+// to inner: panic recovery, request-id injection + propagation,
+// structured per-request logging. logf nil disables the request log
+// (tests); recovery and request ids are unconditional.
+func withMiddleware(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Propagate the caller's request id; inject one when absent. The
+		// id is echoed on the response and carried in the context so every
+		// log line of the request can name it.
+		id := r.Header.Get(api.RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id))
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(api.RequestIDHeader, id)
+
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				// http.ErrAbortHandler is net/http's sanctioned abort: let
+				// the server handle it (no envelope, no stack trace).
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				// Any other handler panic must not kill the daemon or leak
+				// a hung connection: answer with the contract's internal
+				// envelope (when nothing was written yet) and always log.
+				if sw.status == 0 {
+					writeAPIError(sw, api.Errorf(api.CodeInternal, "internal error (request %s)", id))
+				}
+				if logf != nil {
+					logf("http: panic serving %s %s req=%s: %v", r.Method, r.URL.Path, id, p)
+				}
+				return
+			}
+			if logf != nil {
+				logf("http: %s %s -> %d %dB in %s req=%s",
+					r.Method, r.URL.Path, sw.status, sw.bytes, time.Since(start).Round(time.Microsecond), id)
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// deprecated marks a legacy unversioned route: the handler still serves
+// the /v1 body, but every response carries deprecation headers pointing
+// at the successor so clients can migrate before the aliases go away.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}

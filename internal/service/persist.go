@@ -33,9 +33,9 @@ func parseKeySeq(key, prefix string) (int64, bool) {
 	return n, true
 }
 
-// marshalView is the shared view encoding: a version byte followed by the
-// JSON rendering the HTTP API already serves, so the store and the wire
-// agree on one schema per type.
+// marshalView is the shared view encoding: a version byte followed by
+// the JSON rendering the /v1 API serves (the api package's view types),
+// so the store and the wire agree on one schema per type.
 func marshalView(v any) ([]byte, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -53,17 +53,3 @@ func unmarshalView(data []byte, v any) error {
 	}
 	return json.Unmarshal(data[1:], v)
 }
-
-// MarshalBinary implements encoding.BinaryMarshaler: the session view's
-// serialization contract with the store.
-func (v View) MarshalBinary() ([]byte, error) { return marshalView(v) }
-
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
-func (v *View) UnmarshalBinary(data []byte) error { return unmarshalView(data, v) }
-
-// MarshalBinary implements encoding.BinaryMarshaler for experiment-job
-// views.
-func (v ExpView) MarshalBinary() ([]byte, error) { return marshalView(v) }
-
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
-func (v *ExpView) UnmarshalBinary(data []byte) error { return unmarshalView(data, v) }

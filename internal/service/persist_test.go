@@ -193,7 +193,7 @@ func TestExperimentJobLifecycleAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	orphan := ExpView{ID: "x-000007", Experiment: "e1", State: StateQueued, Trials: 4}
-	data, err := orphan.MarshalBinary()
+	data, err := marshalView(orphan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestExperimentJobAdmissionControl(t *testing.T) {
 // JSON, with unknown versions rejected.
 func TestViewBinaryContract(t *testing.T) {
 	v := View{ID: "s-000009", State: StateDone, Seed: 7, Profile: []int{1, 0}}
-	data, err := v.MarshalBinary()
+	data, err := marshalView(v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,17 +292,17 @@ func TestViewBinaryContract(t *testing.T) {
 		t.Fatalf("version byte %d", data[0])
 	}
 	var back View
-	if err := back.UnmarshalBinary(data); err != nil {
+	if err := unmarshalView(data, &back); err != nil {
 		t.Fatal(err)
 	}
 	if back.ID != v.ID || back.State != v.State || len(back.Profile) != 2 {
 		t.Fatalf("round trip %+v", back)
 	}
 	data[0] = 42
-	if err := back.UnmarshalBinary(data); err == nil {
+	if err := unmarshalView(data, &back); err == nil {
 		t.Fatal("unknown version accepted")
 	}
-	if err := back.UnmarshalBinary(nil); err == nil {
+	if err := unmarshalView(nil, &back); err == nil {
 		t.Fatal("empty record accepted")
 	}
 }

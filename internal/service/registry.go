@@ -62,7 +62,7 @@ func NewRegistry(baseSeed int64, maxN, maxLive int, st *store.Store) *Registry {
 // Create validates the spec, compiles its parameters, and registers a new
 // session in the awaiting-types state.
 func (r *Registry) Create(spec Spec) (*Session, error) {
-	spec.normalize()
+	normalizeSpec(&spec)
 	if spec.N > r.maxN {
 		return nil, fmt.Errorf("service: n=%d exceeds the farm's limit of %d", spec.N, r.maxN)
 	}
@@ -118,7 +118,7 @@ func (r *Registry) Lookup(id string) (View, bool) {
 		return View{}, false
 	}
 	var v View
-	if err := v.UnmarshalBinary(data); err != nil {
+	if err := unmarshalView(data, &v); err != nil {
 		return View{}, false
 	}
 	return v, true
@@ -129,7 +129,7 @@ func (r *Registry) Lookup(id string) (View, bool) {
 // by the worker that finished the session.
 func (r *Registry) Spill(v View) error {
 	if r.st != nil {
-		data, err := v.MarshalBinary()
+		data, err := marshalView(v)
 		if err != nil {
 			return err
 		}
@@ -178,7 +178,7 @@ func (r *Registry) List(state string, offset, limit int) (int, []View) {
 		})
 		for _, data := range raw {
 			var v View
-			if err := v.UnmarshalBinary(data); err != nil {
+			if err := unmarshalView(data, &v); err != nil {
 				continue // skip an undecodable record rather than fail the page
 			}
 			if state == "" || string(v.State) == state {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/events"
 	"asyncmediator/internal/game"
@@ -36,10 +37,18 @@ import (
 // engine run on the same pool implementation.
 var ErrQueueFull = pool.ErrQueueFull
 
-// Event kinds published to the bus.
+// Event kinds published to the bus (the api contract's namespaces).
 const (
-	kindSession    = "session"
-	kindExperiment = "experiment"
+	kindSession    = api.KindSession
+	kindExperiment = api.KindExperiment
+)
+
+// The readiness lifecycle of the daemon: recovering the store, serving,
+// draining for shutdown.
+const (
+	readyStarting int32 = iota
+	readyServing
+	readyDraining
 )
 
 // Config tunes the farm.
@@ -66,6 +75,10 @@ type Config struct {
 	// SnapshotEvery is the store's compaction cadence in WAL records
 	// (0: the store default).
 	SnapshotEvery int
+	// RequestLog, when set, receives one structured line per HTTP request
+	// (and per recovered handler panic) from the middleware stack; nil
+	// disables request logging. Printf-shaped so log.Printf drops in.
+	RequestLog func(format string, args ...any)
 }
 
 func (c *Config) normalize() {
@@ -107,6 +120,12 @@ type Service struct {
 	stopc    chan struct{}
 	stopOnce sync.Once
 
+	// ready tracks the GET /readyz gate: starting until store recovery
+	// completes and the worker pool accepts submits, draining from the
+	// moment shutdown begins — so a load balancer never routes to a
+	// daemon mid-replay or mid-drain.
+	ready atomic.Int32
+
 	persistErrs atomic.Int64
 }
 
@@ -138,16 +157,37 @@ func New(cfg Config) (*Service, error) {
 	s.recoverExperiments()
 	s.pool = pool.New(cfg.Workers, cfg.QueueDepth)
 	s.engine = sim.EngineOn(s.pool)
+	// Recovery replayed and the pool accepts submits: the readiness gate
+	// opens only now, so a handler mounted on a half-built farm reports
+	// not-ready rather than serving a partial view.
+	s.ready.Store(readyServing)
 	return s, nil
+}
+
+// Readiness reports whether the farm should receive traffic, with a
+// reason when it should not — the body of GET /readyz.
+func (s *Service) Readiness() api.Readiness {
+	switch s.ready.Load() {
+	case readyServing:
+		return api.Readiness{Ready: true}
+	case readyDraining:
+		return api.Readiness{Reason: "draining for shutdown"}
+	default:
+		return api.Readiness{Reason: "store recovery in progress"}
+	}
 }
 
 // Events returns the farm's event bus (state transitions of sessions and
 // experiment jobs).
 func (s *Service) Events() *events.Bus { return s.bus }
 
-// beginShutdown releases every long-poll holder. Idempotent.
+// beginShutdown flips the readiness gate to draining and releases every
+// long-poll holder. Idempotent.
 func (s *Service) beginShutdown() {
-	s.stopOnce.Do(func() { close(s.stopc) })
+	s.stopOnce.Do(func() {
+		s.ready.Store(readyDraining)
+		close(s.stopc)
+	})
 }
 
 // StoreRecovery reports what the durable store found at boot; ok is false
@@ -270,27 +310,16 @@ func (s *Service) exec(worker int, sess *Session) {
 	s.sink.Record(worker, rec)
 }
 
-// StatsView is the farm-level aggregate exposed at GET /stats.
-type StatsView struct {
-	Totals
-	SessionsCreated   int           `json:"sessions_created"`
-	SessionsLive      int           `json:"sessions_live"`
-	SessionsEvicted   int64         `json:"sessions_evicted"`
-	SessionsPersisted int           `json:"sessions_persisted,omitempty"`
-	PersistErrors     int64         `json:"persist_errors,omitempty"`
-	States            map[State]int `json:"states"`
-	Workers           int           `json:"workers"`
-	UptimeSeconds     float64       `json:"uptime_seconds"`
-	SessionsPerSec    float64       `json:"sessions_per_sec"`
-	MessagesPerSec    float64       `json:"messages_per_sec"`
-}
+// StatsView is the farm-level aggregate exposed at GET /v1/stats — the
+// wire shape (api.Stats).
+type StatsView = api.Stats
 
 // Stats aggregates the farm counters.
 func (s *Service) Stats() StatsView {
 	tot := s.sink.Snapshot()
 	up := time.Since(s.start).Seconds()
 	v := StatsView{
-		Totals:          tot,
+		StatsTotals:     tot,
 		SessionsCreated: int(s.reg.Created()),
 		SessionsLive:    s.reg.Len(),
 		SessionsEvicted: s.reg.Evicted(),

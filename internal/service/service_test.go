@@ -21,7 +21,7 @@ func newFarm(t testing.TB, cfg Config) *Service {
 
 func TestSpecDefaultsToServiceFreeConfiguration(t *testing.T) {
 	var spec Spec
-	spec.normalize()
+	normalizeSpec(&spec)
 	if spec.Game != "section64" || spec.N != 5 || spec.K != 0 || spec.T != 1 || spec.Variant != "4.1" {
 		t.Fatalf("unexpected defaults: %+v", spec)
 	}
@@ -291,7 +291,7 @@ func TestGracefulCloseDrainsQueuedSessions(t *testing.T) {
 			t.Fatalf("session %s left in %s after Close", sess.ID, st)
 		}
 	}
-	if tot := svc.Stats().Totals; tot.Sessions != n {
+	if tot := svc.Stats().StatsTotals; tot.Sessions != n {
 		t.Fatalf("sink saw %d sessions, want %d", tot.Sessions, n)
 	}
 }

@@ -6,68 +6,37 @@ import (
 	"sync"
 	"time"
 
+	"asyncmediator/api"
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/core"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
 )
 
-// State is a session's lifecycle phase. Transitions are strictly forward:
-// awaiting-types -> queued -> running -> done | failed.
-type State string
-
-// The session lifecycle.
-const (
-	StateAwaitingTypes State = "awaiting-types"
-	StateQueued        State = "queued"
-	StateRunning       State = "running"
-	StateDone          State = "done"
-	StateFailed        State = "failed"
+// The wire shapes of sessions are defined once, in the api package (the
+// versioned /v1 contract); the farm's internals operate directly on those
+// types so handler, store, and SDK cannot drift apart.
+type (
+	// State is a session's lifecycle phase (api.State).
+	State = api.State
+	// Spec is the client-facing configuration of one hosted play
+	// (api.SessionSpec).
+	Spec = api.SessionSpec
+	// View is a JSON-renderable snapshot of a session (api.SessionView).
+	View = api.SessionView
 )
 
-// Terminal reports whether the state is final (done or failed) — the
-// condition for persistence and eviction eligibility.
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+// The session lifecycle, re-exported from the contract.
+const (
+	StateAwaitingTypes = api.StateAwaitingTypes
+	StateQueued        = api.StateQueued
+	StateRunning       = api.StateRunning
+	StateDone          = api.StateDone
+	StateFailed        = api.StateFailed
+)
 
-// knownState validates a client-supplied state filter.
-func knownState(s string) bool {
-	switch State(s) {
-	case StateAwaitingTypes, StateQueued, StateRunning, StateDone, StateFailed:
-		return true
-	}
-	return false
-}
-
-// Spec is the client-facing configuration of one hosted play. Zero values
-// select the farm's default serving configuration (the n > 4t asynchronous
-// variant of Theorem 4.1 on the Section 6.4 game).
-type Spec struct {
-	// Game selects the hosted workload: "section64" (default) or
-	// "consensus".
-	Game string `json:"game,omitempty"`
-	// N, K, T are the paper's bounds; zero N defaults to 5, and zero K
-	// with zero T defaults to the service-free k=0, t=1 configuration.
-	N int `json:"n,omitempty"`
-	K int `json:"k,omitempty"`
-	T int `json:"t,omitempty"`
-	// Variant is the theorem label: "4.1" (default), "4.2", "4.4", "4.5".
-	Variant string `json:"variant,omitempty"`
-	// Scheduler picks the simulation environment strategy: "roundrobin"
-	// (default), "random" or "fifo". Ignored by the wire backend, where
-	// the real network schedules.
-	Scheduler string `json:"scheduler,omitempty"`
-	// Backend is "sim" (default: deterministic in-process runtime) or
-	// "wire" (loopback TCP mesh of real nodes).
-	Backend string `json:"backend,omitempty"`
-	// Seed fixes the session's randomness; nil derives a deterministic
-	// seed from the session id, so a farm replay reproduces every play.
-	Seed *int64 `json:"seed,omitempty"`
-	// MaxSteps bounds the simulated run (livelock guard).
-	MaxSteps int `json:"max_steps,omitempty"`
-}
-
-// normalize fills defaults in place.
-func (s *Spec) normalize() {
+// normalizeSpec fills a spec's defaults in place.
+func normalizeSpec(s *Spec) {
 	if s.Game == "" {
 		s.Game = "section64"
 	}
@@ -179,6 +148,10 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 // of range) — a client-request error, distinct from a lifecycle conflict.
 var ErrBadTypes = errors.New("service: bad type profile")
 
+// ErrConflict marks a request that is well-formed but illegal in the
+// session's current lifecycle state (e.g. submitting types twice).
+var ErrConflict = errors.New("service: lifecycle conflict")
+
 // SubmitTypes records the realized type profile and moves the session to
 // Queued. Malformed profiles error with ErrBadTypes; submitting to a
 // session that already has types is a lifecycle conflict.
@@ -195,7 +168,7 @@ func (s *Session) SubmitTypes(types []game.Type) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateAwaitingTypes {
-		return fmt.Errorf("service: session %s is %s, not %s", s.ID, s.state, StateAwaitingTypes)
+		return fmt.Errorf("%w: session %s is %s, not %s", ErrConflict, s.ID, s.state, StateAwaitingTypes)
 	}
 	s.types = append([]game.Type(nil), types...)
 	s.state = StateQueued
@@ -246,26 +219,6 @@ func (s *Session) duration() time.Duration {
 		return 0
 	}
 	return s.finished.Sub(s.started)
-}
-
-// View is a JSON-renderable snapshot of a session.
-type View struct {
-	ID        string    `json:"id"`
-	State     State     `json:"state"`
-	Spec      Spec      `json:"spec"`
-	Seed      int64     `json:"seed"`
-	Variant   string    `json:"variant_theorem"`
-	Bound     int       `json:"bound_n"`
-	Types     []int     `json:"types,omitempty"`
-	Profile   []int     `json:"profile,omitempty"`
-	Utilities []float64 `json:"utilities,omitempty"`
-	Deadlock  bool      `json:"deadlocked,omitempty"`
-	Steps     int       `json:"steps,omitempty"`
-	MsgsSent  int       `json:"messages_sent,omitempty"`
-	MsgsDeliv int       `json:"messages_delivered,omitempty"`
-	// DurationSeconds is the wall time the play ran (terminal states only).
-	DurationSeconds float64 `json:"duration_seconds,omitempty"`
-	Error           string  `json:"error,omitempty"`
 }
 
 // Snapshot returns a consistent view of the session.

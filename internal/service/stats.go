@@ -1,9 +1,10 @@
 package service
 
 import (
-	"sort"
 	"sync/atomic"
 	"time"
+
+	"asyncmediator/api"
 )
 
 // Record is one completed session's contribution to the farm statistics.
@@ -111,19 +112,9 @@ func (h *durHist) snapshot() DurationStats {
 	return ds
 }
 
-// DurationStats summarizes one variant's session-duration histogram for
-// /stats (the quantiles) and /metrics (the raw buckets).
-type DurationStats struct {
-	Count       int64   `json:"count"`
-	MeanSeconds float64 `json:"mean_seconds"`
-	P50Seconds  float64 `json:"p50_seconds"`
-	P99Seconds  float64 `json:"p99_seconds"`
-	// Sum is the total observed seconds (Prometheus histogram _sum).
-	Sum float64 `json:"-"`
-	// Buckets are the per-bucket (non-cumulative) counts aligned with
-	// DurationBounds, plus a trailing overflow bucket.
-	Buckets []int64 `json:"-"`
-}
+// DurationStats is one variant's session-duration summary: the wire
+// shape (api.DurationStats) rendered into /v1/stats and /metrics.
+type DurationStats = api.DurationStats
 
 // DurationBounds exposes the histogram boundaries (seconds) for renderers.
 func DurationBounds() []float64 {
@@ -254,28 +245,9 @@ func (s *Sink) Record(worker int, rec Record) {
 	}
 }
 
-// Totals is an aggregated snapshot of the sink.
-type Totals struct {
-	Sessions          int64            `json:"sessions_completed"`
-	Failed            int64            `json:"sessions_failed"`
-	Deadlocked        int64            `json:"sessions_deadlocked"`
-	Steps             int64            `json:"steps"`
-	MessagesSent      int64            `json:"messages_sent"`
-	MessagesDelivered int64            `json:"messages_delivered"`
-	Outcomes          map[string]int64 `json:"outcomes,omitempty"`
-	// Durations maps theorem variant -> session-duration summary (p50/p99).
-	Durations map[string]DurationStats `json:"session_duration_by_variant,omitempty"`
-}
-
-// Variants lists the duration-histogram keys in sorted order.
-func (t Totals) Variants() []string {
-	out := make([]string, 0, len(t.Durations))
-	for v := range t.Durations {
-		out = append(out, v)
-	}
-	sort.Strings(out)
-	return out
-}
+// Totals is an aggregated snapshot of the sink — the wire shape
+// (api.StatsTotals) embedded in /v1/stats.
+type Totals = api.StatsTotals
 
 // Snapshot sums all shards and copies the histograms.
 func (s *Sink) Snapshot() Totals {

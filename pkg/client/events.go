@@ -1,0 +1,116 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"asyncmediator/api"
+)
+
+// StreamOptions filter an event subscription.
+type StreamOptions struct {
+	// Session narrows the stream to one session id ("" for all).
+	Session string
+	// Kind narrows to one namespace: api.KindSession or
+	// api.KindExperiment ("" for both).
+	Kind string
+}
+
+// EventStream is one live GET /v1/events subscription. Read with Next;
+// Close releases the connection (cancelling the stream's context does
+// too).
+type EventStream struct {
+	body  io.ReadCloser
+	sc    *bufio.Scanner
+	hello api.Hello
+}
+
+// StreamEvents subscribes to the farm's event bus as server-sent events.
+// The returned stream has already consumed the hello frame, so the bus
+// position is known before the first Next: every transition published
+// after Hello().Seq will be delivered (modulo overflow, detectable as a
+// seq gap).
+func (c *Client) StreamEvents(ctx context.Context, o StreamOptions) (*EventStream, error) {
+	q := url.Values{}
+	if o.Session != "" {
+		q.Set("session", o.Session)
+	}
+	if o.Kind != "" {
+		q.Set("kind", o.Kind)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/v1/events", q), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(api.RequestIDHeader, c.nextRequestID())
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: subscribe events: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20) // terminal events carry full snapshots
+	s := &EventStream{body: resp.Body, sc: sc}
+	name, data, err := s.nextFrame()
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("client: event stream opened without hello: %w", err)
+	}
+	if name != api.EventNameHello || json.Unmarshal(data, &s.hello) != nil {
+		s.Close()
+		return nil, fmt.Errorf("client: unexpected first frame %q", name)
+	}
+	return s, nil
+}
+
+// Hello returns the stream's opening frame: the bus sequence number at
+// subscription time.
+func (s *EventStream) Hello() api.Hello { return s.hello }
+
+// Next blocks for the next event. It returns io.EOF when the server
+// closes the stream (farm shutdown) and the context's error when the
+// subscription's context ends.
+func (s *EventStream) Next() (api.Event, error) {
+	name, data, err := s.nextFrame()
+	if err != nil {
+		return api.Event{}, err
+	}
+	var e api.Event
+	if err := json.Unmarshal(data, &e); err != nil {
+		return api.Event{}, fmt.Errorf("client: bad %s event payload: %w", name, err)
+	}
+	return e, nil
+}
+
+// nextFrame scans one SSE frame (event name + data), skipping heartbeat
+// comments.
+func (s *EventStream) nextFrame() (name string, data []byte, err error) {
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && name != "":
+			return name, data, nil
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return "", nil, io.EOF
+}
+
+// Close releases the subscription's connection. Idempotent.
+func (s *EventStream) Close() error { return s.body.Close() }

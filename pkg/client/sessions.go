@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"asyncmediator/api"
+)
+
+// waitChunk is the ?wait= the long-poll helpers ask for per request —
+// the contract's cap, so each hold is one round trip.
+const waitChunk = api.MaxWaitSeconds * time.Second
+
+// pollPause spaces long-poll rounds that return non-terminal snapshots
+// early (a draining daemon releases holds instantly; a proxy may strip
+// ?wait=). Without it the wait loops degrade into tight HTTP spins.
+const pollPause = 250 * time.Millisecond
+
+// pausePoll sleeps one pollPause respecting ctx.
+func pausePoll(ctx context.Context) error {
+	t := time.NewTimer(pollPause)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CreateSession registers a new play in the awaiting-types state. The
+// zero Spec selects the farm's default serving configuration.
+func (c *Client) CreateSession(ctx context.Context, spec api.SessionSpec) (api.Handle, error) {
+	var h api.Handle
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", nil, spec, &h)
+	return h, err
+}
+
+// SubmitTypes supplies the session's realized type profile and queues
+// the play. On ErrPoolSaturated the submission rolled back server-side;
+// the built-in backoff retries it, and a caller that still sees the
+// error may retry again later.
+func (c *Client) SubmitTypes(ctx context.Context, id string, types []int) (api.Handle, error) {
+	var h api.Handle
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/types", nil, api.TypesRequest{Types: types}, &h)
+	return h, err
+}
+
+// GetSession fetches one session snapshot.
+func (c *Client) GetSession(ctx context.Context, id string) (api.SessionView, error) {
+	var v api.SessionView
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, nil, &v)
+	return v, err
+}
+
+// WaitSession long-polls until the session reaches a terminal state or
+// ctx expires: each round trip holds for the server's maximum wait, so a
+// play that finishes in milliseconds answers in milliseconds.
+func (c *Client) WaitSession(ctx context.Context, id string) (api.SessionView, error) {
+	q := url.Values{"wait": {waitChunk.String()}}
+	for {
+		var v api.SessionView
+		if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), q, nil, &v); err != nil {
+			return api.SessionView{}, err
+		}
+		if v.State.Terminal() {
+			return v, nil
+		}
+		if err := pausePoll(ctx); err != nil {
+			return v, fmt.Errorf("client: waiting for session %s (state %s): %w", id, v.State, err)
+		}
+	}
+}
+
+// ListSessionsOptions filter and window GET /v1/sessions.
+type ListSessionsOptions struct {
+	// State filters to one lifecycle state ("" for all).
+	State string
+	// Offset is the page cursor (use the previous page's NextOffset).
+	Offset int
+	// Limit bounds the page size (0: server default).
+	Limit int
+}
+
+// ListSessions fetches one page of the id-sorted session collection.
+func (c *Client) ListSessions(ctx context.Context, o ListSessionsOptions) (api.SessionPage, error) {
+	q := url.Values{}
+	if o.State != "" {
+		q.Set("state", o.State)
+	}
+	if o.Offset > 0 {
+		q.Set("offset", strconv.Itoa(o.Offset))
+	}
+	if o.Limit > 0 {
+		q.Set("limit", strconv.Itoa(o.Limit))
+	}
+	var page api.SessionPage
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", q, nil, &page)
+	return page, err
+}
+
+// EachSession walks the whole (optionally state-filtered) collection in
+// id order, following next_offset cursors, and calls fn per session; a
+// non-nil return stops the walk and is returned.
+func (c *Client) EachSession(ctx context.Context, o ListSessionsOptions, fn func(api.SessionView) error) error {
+	for {
+		page, err := c.ListSessions(ctx, o)
+		if err != nil {
+			return err
+		}
+		for _, v := range page.Sessions {
+			if err := fn(v); err != nil {
+				return err
+			}
+		}
+		if page.NextOffset == nil {
+			return nil
+		}
+		o.Offset = *page.NextOffset
+	}
+}
+
+// PlaySession is the end-to-end convenience: create the session, submit
+// the type profile, and wait for the terminal snapshot — one hosted play
+// as one call.
+func (c *Client) PlaySession(ctx context.Context, spec api.SessionSpec, types []int) (api.SessionView, error) {
+	h, err := c.CreateSession(ctx, spec)
+	if err != nil {
+		return api.SessionView{}, err
+	}
+	if _, err := c.SubmitTypes(ctx, h.ID, types); err != nil {
+		return api.SessionView{}, err
+	}
+	return c.WaitSession(ctx, h.ID)
+}
+
+// Stats fetches the farm-wide aggregate statistics.
+func (c *Client) Stats(ctx context.Context) (api.Stats, error) {
+	var s api.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, &s)
+	return s, err
+}
