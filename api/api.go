@@ -10,9 +10,9 @@
 // Versioning. Routes are mounted under the Prefix ("/v1"). Additive
 // changes (new optional fields, new endpoints) do not bump the version;
 // renames, removals, and semantic changes do. The pre-/v1 unversioned
-// routes remain as deprecated aliases for one release; they serve the
-// same bodies and mark themselves with a "Deprecation: true" response
-// header.
+// aliases were removed after their one-release deprecation window; only
+// the infrastructure probes (/metrics, /healthz, /readyz) remain
+// unversioned.
 //
 // Errors. Every non-2xx response carries an ErrorEnvelope with a stable
 // machine-readable Code (see ErrorCode); Message is human-oriented and
@@ -31,6 +31,17 @@ const Prefix = "/v1"
 // response and logged with the request, so one id follows a call through
 // client, daemon, and log.
 const RequestIDHeader = "X-Request-Id"
+
+// IdempotencyKeyHeader lets a client retry a POST safely over transport
+// failures: the server caches the first completed response under the
+// key (scoped to method + path) and replays it verbatim — with an
+// IdempotencyReplayedHeader marker — for every repeat. Keys should be
+// unique per logical operation (the SDK mints one per call).
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// IdempotencyReplayedHeader is set ("true") on responses served from
+// the idempotency cache rather than freshly executed.
+const IdempotencyReplayedHeader = "Idempotency-Replayed"
 
 // MaxBodyBytes bounds every request body the /v1 surface accepts; larger
 // bodies are rejected with CodeInvalidArgument.

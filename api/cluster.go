@@ -1,0 +1,102 @@
+package api
+
+// Cluster mode: several mediatord daemons co-host one cheap-talk play,
+// each running only its local players' protocol stacks over the hardened
+// cluster transport. The coordinating daemon (the one that received
+// POST /v1/sessions with a non-empty peers list) drives two calls
+// against each co-hosting daemon:
+//
+//  1. POST /v1/cluster/join  — carry the play's spec, types, seed, and
+//     the player indices that daemon hosts; it binds one transport
+//     listener per local player and answers with their addresses.
+//  2. POST /v1/cluster/start — carry the complete player->address
+//     table; the daemon runs its local players to termination and
+//     answers with their outcomes.
+//
+// The coordinator merges the outcomes with its own players', resolves
+// the joint action profile exactly as a single-process play would, and
+// persists/announces the terminal session on its own store and event
+// bus. Both calls are idempotent under the Idempotency-Key header, so
+// the coordinator's SDK retries them safely over transport failures.
+
+// PeerSpec assigns one player index of a session to a co-hosting
+// daemon, identified by its HTTP base URL (e.g. "http://10.0.0.2:8080").
+// Player indices absent from SessionSpec.Peers run on the coordinator.
+type PeerSpec struct {
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+}
+
+// ClusterJoinRequest is the body of POST /v1/cluster/join: the
+// coordinator invites this daemon to co-host one play.
+type ClusterJoinRequest struct {
+	// ClusterID names the play; every transport handshake of the mesh is
+	// scoped to it.
+	ClusterID string `json:"cluster_id"`
+	// Spec is the play's session spec (peers stripped: assignment travels
+	// in Players).
+	Spec SessionSpec `json:"spec"`
+	// Types is the realized type profile of all n players.
+	Types []int `json:"types"`
+	// Players are the indices this daemon hosts.
+	Players []int `json:"players"`
+	// Seed anchors the play's determinism: player i derives seed+i.
+	Seed int64 `json:"seed"`
+}
+
+// ClusterJoinResponse acknowledges a join: the transport addresses of
+// the players this daemon bound, indexed by player (empty entries for
+// players hosted elsewhere).
+type ClusterJoinResponse struct {
+	ClusterID string   `json:"cluster_id"`
+	Addrs     []string `json:"addrs"`
+}
+
+// ClusterStartRequest is the body of POST /v1/cluster/start: the
+// complete player->transport-address table, gathered from every join.
+type ClusterStartRequest struct {
+	ClusterID string   `json:"cluster_id"`
+	Addrs     []string `json:"addrs"`
+}
+
+// ClusterPlayerResult is one co-hosted player's terminal state. Move and
+// Will are opaque gob frames (the same registered protocol payloads the
+// wire mesh exchanges), so arbitrary move types cross the HTTP boundary
+// without widening the JSON contract.
+type ClusterPlayerResult struct {
+	Index  int    `json:"index"`
+	Move   []byte `json:"move,omitempty"`
+	Will   []byte `json:"will,omitempty"`
+	Halted bool   `json:"halted"`
+	// TimedOut marks a player whose node hit the hosting daemon's wire
+	// timeout — the cross-process analogue of a deadlocked play.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Sent/Delivered are the node's transport counters.
+	Sent      int64  `json:"sent"`
+	Delivered int64  `json:"delivered"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ClusterStartResponse carries every local player's outcome back to the
+// coordinator.
+type ClusterStartResponse struct {
+	ClusterID string                `json:"cluster_id"`
+	Results   []ClusterPlayerResult `json:"results"`
+}
+
+// ClusterFinishRequest is the body of POST /v1/cluster/finish: the
+// coordinator, having gathered every daemon's outcomes, releases the
+// play's transports. Until this call (or a linger timeout) a co-hosting
+// daemon keeps its finished players' transports alive, because their
+// resend buffers may still hold frames a slower daemon's players need.
+type ClusterFinishRequest struct {
+	ClusterID string `json:"cluster_id"`
+}
+
+// ClusterFinishResponse acknowledges a release. Released is false when
+// the play was already gone (an earlier finish, the linger reaper, or a
+// daemon restart) — a successful no-op, so finishes retry safely.
+type ClusterFinishResponse struct {
+	ClusterID string `json:"cluster_id"`
+	Released  bool   `json:"released"`
+}

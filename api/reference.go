@@ -33,10 +33,13 @@ func Routes() []Route {
 		{Method: "GET", Path: "/experiments/{name}", Summary: "run a catalog experiment synchronously in the request, returning its Table", Query: "trials, seed, maxsteps"},
 		{Method: "POST", Path: "/jobs", Summary: "create a persisted asynchronous experiment job (body: ExperimentRequest)"},
 		{Method: "GET", Path: "/jobs/{id}", Summary: "experiment-job snapshot; ?wait= long-polls until terminal", Query: "wait"},
+		{Method: "POST", Path: "/cluster/join", Summary: "co-host a play: bind transport listeners for the named players (body: ClusterJoinRequest)"},
+		{Method: "POST", Path: "/cluster/start", Summary: "run the co-hosted players to termination with the full address table (body: ClusterStartRequest)"},
+		{Method: "POST", Path: "/cluster/finish", Summary: "release a finished play's lingering transports once the coordinator gathered every outcome (body: ClusterFinishRequest)"},
 		{Method: "GET", Path: "/stats", Summary: "farm-wide aggregate statistics (Stats)"},
 		{Method: "GET", Path: "/metrics", Summary: "Prometheus text exposition", Unversioned: true},
 		{Method: "GET", Path: "/healthz", Summary: "liveness: the process is up", Unversioned: true},
-		{Method: "GET", Path: "/readyz", Summary: "readiness: store recovered, pool accepting, not draining", Unversioned: true},
+		{Method: "GET", Path: "/readyz", Summary: "readiness: store recovered, pool accepting, not draining, queue under the shed watermark", Unversioned: true},
 	}
 }
 
@@ -92,11 +95,15 @@ func Reference() string {
 	fmt.Fprintf(&b, "capped at %ds): the response is held until the subject reaches a\n", MaxWaitSeconds)
 	b.WriteString("terminal state, the wait elapses, or the daemon begins draining.\n")
 
-	b.WriteString("\n**Deprecated aliases.** The pre-/v1 unversioned routes (`/sessions`,\n")
-	b.WriteString("`/experiments`, `/stats`, ...) remain for one release as thin aliases of\n")
-	b.WriteString("their `/v1` successors — same bodies, same codes — and mark every\n")
-	b.WriteString("response with a `Deprecation: true` header. `GET /experiments/{id}`\n")
-	b.WriteString("keeps its legacy dual mode (catalog names run synchronously, `x-…` ids\n")
-	b.WriteString("poll jobs); under `/v1` those are the distinct routes above.\n")
+	b.WriteString("\n**Idempotency.** POSTs may carry an `Idempotency-Key` header: the\n")
+	b.WriteString("first completed response is cached under the key (scoped to method +\n")
+	b.WriteString("path) and replayed verbatim — flagged `Idempotency-Replayed: true` —\n")
+	b.WriteString("for every repeat, so creates retry safely over transport failures.\n")
+	b.WriteString("Transient failures (`pool_saturated`, `not_ready`) are not cached.\n")
+	b.WriteString("The SDK mints a key per POST automatically.\n")
+
+	b.WriteString("\nThe pre-/v1 unversioned aliases were removed after their one-release\n")
+	b.WriteString("deprecation window; only the infrastructure probes (`/metrics`,\n")
+	b.WriteString("`/healthz`, `/readyz`) remain unversioned.\n")
 	return b.String()
 }

@@ -27,6 +27,11 @@ type SessionSpec struct {
 	Seed *int64 `json:"seed,omitempty"`
 	// MaxSteps bounds the simulated run (livelock guard).
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Peers assigns player indices to co-hosting mediatord daemons
+	// (cluster mode): each named index runs on the daemon at that HTTP
+	// base URL; unnamed indices run on the daemon that received the
+	// create. Requires (and implies) the wire backend.
+	Peers []PeerSpec `json:"peers,omitempty"`
 }
 
 // TypesRequest is the body of POST /v1/sessions/{id}/types: the realized

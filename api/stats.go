@@ -54,4 +54,14 @@ type Stats struct {
 	UptimeSeconds     float64       `json:"uptime_seconds"`
 	SessionsPerSec    float64       `json:"sessions_per_sec"`
 	MessagesPerSec    float64       `json:"messages_per_sec"`
+	// QueueDepth is the number of jobs currently queued behind the
+	// workers — the load-shedding readiness gate's input.
+	QueueDepth int `json:"queue_depth"`
+	// ShedIntervals counts transitions into load-shedding: windows in
+	// which GET /readyz reported not-ready because QueueDepth sat at or
+	// above the configured watermark.
+	ShedIntervals int64 `json:"shed_intervals,omitempty"`
+	// ClusterPlaysHosted counts plays this daemon co-hosted for a remote
+	// coordinator (cluster mode joins that reached start).
+	ClusterPlaysHosted int64 `json:"cluster_plays_hosted,omitempty"`
 }

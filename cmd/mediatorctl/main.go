@@ -7,7 +7,9 @@
 // Commands:
 //
 //	session create   create a play (-n -k -t -variant ...); -types submits
-//	                 the profile too, -watch follows it to a terminal state
+//	                 the profile too, -watch follows it to a terminal state,
+//	                 repeatable -peer INDEX=ADDR co-hosts players on other
+//	                 daemons (cluster mode)
 //	session get      one session snapshot (-wait long-polls to terminal)
 //	session list     page sessions (-state -offset -limit; -all walks pages)
 //	session types    submit a type profile: session types s-000001 0,0,0,0,0
@@ -18,6 +20,7 @@
 //	experiment get   one job snapshot (-wait long-polls to terminal)
 //	stats            farm-wide aggregate statistics
 //	events tail      stream state transitions (-session -kind) as JSON lines
+//	cluster drop     sever live cluster transport conns (daemon runs -chaos)
 //	ready            readiness probe (exit 1 when not ready)
 //	apidoc           print the generated /v1 API reference (markdown)
 //
@@ -103,7 +106,7 @@ var errUsage = errors.New("usage")
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
 	fmt.Fprintln(w, "commands: session create|get|list|types|watch, experiment list|run|get,")
-	fmt.Fprintln(w, "          stats, events tail, ready, apidoc")
+	fmt.Fprintln(w, "          stats, events tail, cluster drop, ready, apidoc")
 	fmt.Fprintln(w, "flags:")
 	fs.PrintDefaults()
 }
@@ -162,6 +165,15 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 			return bad("events needs the tail verb")
 		}
 		return eventsTail(ctx, c, args[2:], stdout, stderr)
+	case "cluster":
+		if len(args) < 2 || args[1] != "drop" {
+			return bad("cluster needs the drop verb (fault injection; daemon must run -chaos)")
+		}
+		n, err := c.ClusterDrop(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(stdout, map[string]int{"dropped": n})
 	case "ready":
 		if err := c.Ready(ctx); err != nil {
 			return err
@@ -191,6 +203,18 @@ func sessionCreate(ctx context.Context, c *client.Client, args []string, stdout,
 	fs.StringVar(&spec.Scheduler, "scheduler", "", "sim scheduler: roundrobin (default), random, fifo")
 	fs.StringVar(&spec.Backend, "backend", "", "backend: sim (default) or wire")
 	fs.IntVar(&spec.MaxSteps, "max-steps", 0, "simulated step bound (0: default)")
+	fs.Func("peer", "host player INDEX on the daemon at ADDR, as INDEX=ADDR (repeatable; implies the wire backend)", func(v string) error {
+		idx, addr, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want INDEX=ADDR, got %q", v)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil {
+			return fmt.Errorf("bad player index in %q", v)
+		}
+		spec.Peers = append(spec.Peers, api.PeerSpec{Index: i, Addr: strings.TrimSpace(addr)})
+		return nil
+	})
 	seed := fs.String("seed", "", "session seed (empty: derived deterministically)")
 	types := fs.String("types", "", "comma-separated type profile; submits after create")
 	watch := fs.Bool("watch", false, "after submitting types, wait for the terminal snapshot")

@@ -31,8 +31,16 @@
 //	curl -s localhost:8080/metrics                         # Prometheus text format
 //	curl -s localhost:8080/readyz                          # LB readiness gate
 //
-// The pre-/v1 unversioned routes remain for one release as deprecated
-// aliases (Deprecation: true response header).
+// Cluster mode: several daemons co-host one play, each running only its
+// local players over the hardened transport (reconnect + resend,
+// optional mutual TLS via -tls-cert/-tls-key/-tls-ca, listeners bound on
+// -cluster-listen):
+//
+//	mediatord -addr :8080 -cluster-listen 10.0.0.1 &   # coordinator
+//	mediatord -addr :8081 -cluster-listen 10.0.0.2 &   # peer
+//	mediatorctl session create -game consensus -n 4 -k 1 -variant 4.2 \
+//	    -peer 2=http://10.0.0.2:8081 -peer 3=http://10.0.0.2:8081 \
+//	    -types 0,0,0,0 -watch
 //
 // Or measure throughput without the HTTP layer:
 //
@@ -75,6 +83,12 @@ func run(args []string) error {
 	maxLive := fs.Int("max-live-sessions", 0, "bound on in-memory sessions; terminal sessions beyond it evict to the store (0: unlimited)")
 	snapEvery := fs.Int("snapshot-every", 0, "WAL records between compacted store snapshots (0: store default)")
 	quiet := fs.Bool("quiet", false, "disable the per-request HTTP log")
+	clusterListen := fs.String("cluster-listen", "", "host cluster-mode transport listeners bind and advertise; must be reachable from peer daemons (default 127.0.0.1)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate for mutual TLS on cluster transport connections")
+	tlsKey := fs.String("tls-key", "", "PEM private key paired with -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle both sides of every cluster connection verify against")
+	readyWatermark := fs.Int("ready-watermark", 0, "queue depth at or above which GET /readyz sheds load with 503 (0: disabled)")
+	chaos := fs.Bool("chaos", false, "mount POST /v1/cluster/drop, the fault-injection hook severing live cluster connections (testing only)")
 	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
 	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
 	benchN := fs.Int("bench-n", 5, "benchmark players per session")
@@ -112,6 +126,12 @@ func run(args []string) error {
 		DataDir:         *dataDir,
 		MaxLiveSessions: *maxLive,
 		SnapshotEvery:   *snapEvery,
+		ClusterListen:   *clusterListen,
+		TLSCert:         *tlsCert,
+		TLSKey:          *tlsKey,
+		TLSCA:           *tlsCA,
+		ReadyWatermark:  *readyWatermark,
+		EnableChaos:     *chaos,
 	}
 	if !*quiet {
 		cfg.RequestLog = log.Printf

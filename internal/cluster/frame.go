@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the handshake version this package speaks. A peer
+// announcing a different version is rejected during HELLO: transport
+// framing is a hard compatibility boundary between daemon generations.
+const ProtocolVersion uint16 = 1
+
+// MaxFrameBytes bounds one transport frame (header + payload). It matches
+// the wire layer's historical 64 MiB gob cap.
+const MaxFrameBytes = 64 << 20
+
+// The transport frame kinds. Every TCP segment stream this package opens
+// carries length-prefixed frames of exactly these kinds and nothing else.
+const (
+	kindHello   byte = 1 // dialer -> listener: open a (from -> to) stream
+	kindWelcome byte = 2 // listener -> dialer: accept + highest delivered seq
+	kindReject  byte = 3 // listener -> dialer: refuse, with a reason
+	kindData    byte = 4 // dialer -> listener: one sequence-numbered payload
+	kindAck     byte = 5 // listener -> dialer: cumulative delivery ack
+)
+
+// Frame is one delivered transport unit: an opaque payload on the ordered
+// (From -> To) stream. Seq is 1-based and strictly contiguous per stream —
+// the transport's exactly-once guarantee to its consumer.
+type Frame struct {
+	From    int
+	To      int
+	Seq     uint64
+	Payload []byte
+}
+
+// hello is the first frame of every connection: it names the protocol
+// version, the cluster session the dialer believes it is part of, and the
+// directed stream (from -> to) this connection will carry.
+type hello struct {
+	Version   uint16
+	ClusterID string
+	From      int
+	To        int
+}
+
+// writeRaw emits one length-prefixed frame: kind byte plus body.
+func writeRaw(w io.Writer, kind byte, body []byte) error {
+	if len(body)+1 > MaxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(body)+1)
+	}
+	hdr := make([]byte, 5, 5+len(body))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = kind
+	if _, err := w.Write(append(hdr, body...)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readRaw reads one length-prefixed frame, returning its kind and body.
+func readRaw(r io.Reader) (byte, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < 1 || n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// writeHello frames the handshake's opening.
+func writeHello(w io.Writer, h hello) error {
+	id := []byte(h.ClusterID)
+	body := make([]byte, 2+4+len(id)+4+4)
+	binary.BigEndian.PutUint16(body[0:2], h.Version)
+	binary.BigEndian.PutUint32(body[2:6], uint32(len(id)))
+	copy(body[6:], id)
+	off := 6 + len(id)
+	binary.BigEndian.PutUint32(body[off:off+4], uint32(int32(h.From)))
+	binary.BigEndian.PutUint32(body[off+4:off+8], uint32(int32(h.To)))
+	return writeRaw(w, kindHello, body)
+}
+
+// parseHello decodes a HELLO body.
+func parseHello(body []byte) (hello, error) {
+	if len(body) < 2+4 {
+		return hello{}, fmt.Errorf("cluster: short hello (%d bytes)", len(body))
+	}
+	h := hello{Version: binary.BigEndian.Uint16(body[0:2])}
+	idLen := int(binary.BigEndian.Uint32(body[2:6]))
+	if idLen < 0 || len(body) < 6+idLen+8 {
+		return hello{}, fmt.Errorf("cluster: malformed hello (id length %d in %d bytes)", idLen, len(body))
+	}
+	h.ClusterID = string(body[6 : 6+idLen])
+	off := 6 + idLen
+	h.From = int(int32(binary.BigEndian.Uint32(body[off : off+4])))
+	h.To = int(int32(binary.BigEndian.Uint32(body[off+4 : off+8])))
+	return h, nil
+}
+
+// writeWelcome accepts a handshake, telling the dialer the highest
+// contiguous sequence number the listener has already delivered on this
+// stream — the resend cursor.
+func writeWelcome(w io.Writer, delivered uint64) error {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], delivered)
+	return writeRaw(w, kindWelcome, body[:])
+}
+
+// writeReject refuses a handshake with a human-readable reason.
+func writeReject(w io.Writer, reason string) error {
+	return writeRaw(w, kindReject, []byte(reason))
+}
+
+// writeData frames one sequence-numbered payload.
+func writeData(w io.Writer, seq uint64, payload []byte) error {
+	body := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(body[:8], seq)
+	copy(body[8:], payload)
+	return writeRaw(w, kindData, body)
+}
+
+// parseData splits a DATA body into its sequence number and payload.
+func parseData(body []byte) (uint64, []byte, error) {
+	if len(body) < 8 {
+		return 0, nil, fmt.Errorf("cluster: short data frame (%d bytes)", len(body))
+	}
+	return binary.BigEndian.Uint64(body[:8]), body[8:], nil
+}
+
+// writeAck emits a cumulative ack: every seq <= n has been delivered.
+func writeAck(w io.Writer, n uint64) error {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], n)
+	return writeRaw(w, kindAck, body[:])
+}
+
+// parseU64 decodes the 8-byte body shared by WELCOME and ACK.
+func parseU64(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("cluster: want 8-byte body, got %d", len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"crypto/tls"
+	"net"
+	"sync"
+	"time"
+)
+
+// dataFrame is one sent-but-unacknowledged frame in a link's resend
+// buffer.
+type dataFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// link is one outbound stream (self -> to): a bounded write queue, a
+// resend buffer of unacknowledged frames, and a writer goroutine that
+// owns the connection — dialing, handshaking, replaying, and redialing
+// for as long as the transport lives. Per-peer queues mean a slow or
+// dead peer backpressures only its own stream; no global mutex
+// serializes writes to unrelated peers.
+type link struct {
+	t     *Transport
+	to    int
+	queue chan []byte
+
+	mu      sync.Mutex
+	addr    string
+	nextSeq uint64
+	buf     []dataFrame // sent, not yet acknowledged; seq-ascending
+
+	addrKnown chan struct{}
+	addrOnce  sync.Once
+}
+
+func newLink(t *Transport, to, depth int) *link {
+	return &link{
+		t:         t,
+		to:        to,
+		queue:     make(chan []byte, depth),
+		addrKnown: make(chan struct{}),
+	}
+}
+
+// setAddr records the peer's dial address and unblocks the writer the
+// first time one is known. Later updates (a peer that moved) take effect
+// on the next redial.
+func (l *link) setAddr(addr string) {
+	l.mu.Lock()
+	l.addr = addr
+	l.mu.Unlock()
+	l.addrOnce.Do(func() { close(l.addrKnown) })
+}
+
+func (l *link) currentAddr() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.addr
+}
+
+// enqueue adds one payload to the write queue, blocking on a full queue
+// (backpressure) and dropping once the transport closes.
+func (l *link) enqueue(payload []byte) {
+	select {
+	case l.queue <- payload:
+	case <-l.t.done:
+	}
+}
+
+// run is the link's writer loop: wait for an address, dial, handshake,
+// replay the unacknowledged tail, then pump the queue — and start over
+// whenever the connection dies. Every frame stays in the resend buffer
+// until the receiver's cumulative ack covers it, so a connection drop
+// loses nothing.
+func (l *link) run() {
+	defer l.t.wg.Done()
+	select {
+	case <-l.addrKnown:
+	case <-l.t.done:
+		return
+	}
+	backoff := 20 * time.Millisecond
+	served := false
+	for {
+		select {
+		case <-l.t.done:
+			return
+		default:
+		}
+		conn, cursor, err := l.connect()
+		if err != nil {
+			l.t.dialErrs.Add(1)
+			if !sleepFor(backoff, l.t.done) {
+				return
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 20 * time.Millisecond
+		if !l.t.register(conn) {
+			conn.Close() // transport closing
+			return
+		}
+		if served {
+			l.t.reconnects.Add(1)
+		}
+		served = true
+		l.serve(conn, cursor)
+		l.t.unregister(conn)
+		conn.Close()
+	}
+}
+
+// connect dials the peer (with optional TLS), sends the HELLO, and waits
+// for the WELCOME carrying the receiver's delivery cursor.
+func (l *link) connect() (net.Conn, uint64, error) {
+	addr := l.currentAddr()
+	conn, err := net.DialTimeout("tcp", addr, l.t.cfg.DialTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	if l.t.cfg.TLS != nil {
+		conn = tls.Client(conn, l.t.cfg.TLS.clientConfig(addr))
+	}
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	err = writeHello(conn, hello{
+		Version:   ProtocolVersion,
+		ClusterID: l.t.cfg.ClusterID,
+		From:      l.t.cfg.Self,
+		To:        l.to,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	kind, body, err := readRaw(conn)
+	if err != nil || kind != kindWelcome {
+		conn.Close()
+		if err == nil {
+			err = errRejected(kind, body)
+		}
+		return nil, 0, err
+	}
+	cursor, err := parseU64(body)
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, cursor, nil
+}
+
+// serve owns one live connection: replay everything past the receiver's
+// cursor, then write queued payloads as they arrive, stamping each with
+// the next stream sequence number *before* the write so a failed write
+// leaves the frame safely in the resend buffer. A companion goroutine
+// reads cumulative ACKs and trims the buffer; its exit (read error)
+// wakes the writer so an idle link still notices a dead connection.
+func (l *link) serve(conn net.Conn, cursor uint64) {
+	broken := make(chan struct{})
+	go func() {
+		defer close(broken)
+		for {
+			kind, body, err := readRaw(conn)
+			if err != nil {
+				return
+			}
+			if kind != kindAck {
+				continue
+			}
+			if n, err := parseU64(body); err == nil {
+				l.ackTo(n)
+			}
+		}
+	}()
+
+	// The receiver has everything up to cursor; drop that prefix and
+	// replay the rest in order.
+	l.ackTo(cursor)
+	for _, f := range l.replaySnapshot() {
+		if err := writeData(conn, f.seq, f.payload); err != nil {
+			return
+		}
+		l.t.resent.Add(1)
+	}
+
+	for {
+		select {
+		case payload := <-l.queue:
+			l.mu.Lock()
+			l.nextSeq++
+			f := dataFrame{seq: l.nextSeq, payload: payload}
+			l.buf = append(l.buf, f)
+			l.mu.Unlock()
+			if err := writeData(conn, f.seq, f.payload); err != nil {
+				return // frame stays buffered; the redial replays it
+			}
+		case <-broken:
+			return
+		case <-l.t.done:
+			return
+		}
+	}
+}
+
+// ackTo drops every buffered frame the cumulative ack n covers.
+func (l *link) ackTo(n uint64) {
+	l.mu.Lock()
+	i := 0
+	for i < len(l.buf) && l.buf[i].seq <= n {
+		i++
+	}
+	if i > 0 {
+		l.buf = append([]dataFrame(nil), l.buf[i:]...)
+	}
+	l.mu.Unlock()
+}
+
+// replaySnapshot copies the current resend buffer for replay on a fresh
+// connection.
+func (l *link) replaySnapshot() []dataFrame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]dataFrame(nil), l.buf...)
+}
+
+// errRejected shapes a REJECT (or unexpected) handshake reply into an
+// error.
+type rejectError string
+
+func (e rejectError) Error() string { return "cluster: handshake rejected: " + string(e) }
+
+func errRejected(kind byte, body []byte) error {
+	if kind == kindReject {
+		return rejectError(body)
+	}
+	return rejectError("unexpected frame kind during handshake")
+}
+
+// sleepFor waits d unless done closes first; it reports whether the
+// caller should continue.
+func sleepFor(d time.Duration, done <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// tlsServer wraps an accepted connection in the mutual-TLS server side.
+func tlsServer(c net.Conn, t *TLS) net.Conn { return tls.Server(c, t.serverConfig()) }

@@ -66,6 +66,10 @@ func New(workers, queue int) *Pool {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueLen reports how many jobs are queued behind the workers right
+// now — the input of the farm's load-shedding readiness gate.
+func (p *Pool) QueueLen() int { return len(p.jobs) }
+
 // TrySubmit enqueues a job without blocking. It returns ErrQueueFull when
 // the queue is at capacity (saturation: the caller owns backoff) and
 // ErrClosed after Close.

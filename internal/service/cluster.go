@@ -1,0 +1,584 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"asyncmediator/api"
+	"asyncmediator/internal/async"
+	"asyncmediator/internal/core"
+	"asyncmediator/internal/game"
+	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/wire"
+	"asyncmediator/pkg/client"
+)
+
+// Cluster mode: several mediatord daemons co-host one play, each running
+// only its local players' protocol stacks over the hardened cluster
+// transport (internal/cluster). The daemon that received the session
+// (the coordinator) drives each peer through two idempotent calls on the
+// typed SDK — POST /v1/cluster/join (bind per-player transport
+// listeners, answer with their addresses) and POST /v1/cluster/start
+// (full address table in, terminal player outcomes out) — then resolves
+// the joint profile exactly like a single-process play and persists and
+// announces it on its own store and event bus.
+
+// clusterPlay is one co-hosted play pending or running on this daemon on
+// behalf of a remote coordinator.
+type clusterPlay struct {
+	id      string
+	params  core.Params
+	types   []game.Type
+	players []int
+	nodes   map[int]*wire.Node
+	started bool
+	// lingering marks a play whose local players finished but whose
+	// transports stay alive (resend buffers replaying to slower daemons)
+	// until the coordinator's finish call or the linger timer releases
+	// them.
+	lingering bool
+	expire    *time.Timer
+}
+
+// ErrClusterUnknown marks a start (or drop) for a cluster id this
+// daemon never joined or already finished.
+var ErrClusterUnknown = errors.New("service: unknown cluster play")
+
+// clusterTimeout bounds each side of a cross-process play. The
+// coordinator grants peers its own wire timeout plus slack for the HTTP
+// round trips.
+func (s *Service) clusterTimeout() time.Duration { return s.cfg.WireTimeout }
+
+// clusterListenAddr is where co-hosted players bind their transport
+// listeners: the configured cluster host with an ephemeral port.
+func (s *Service) clusterListenAddr() string {
+	host := s.cfg.ClusterListen
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, "0")
+}
+
+// registerClusterNode tracks a live wire node for the fault-injection
+// hook (DropClusterConns).
+func (s *Service) registerClusterNode(n *wire.Node) {
+	s.clusterMu.Lock()
+	s.clusterNodes[n] = struct{}{}
+	s.clusterMu.Unlock()
+}
+
+func (s *Service) unregisterClusterNode(n *wire.Node) {
+	s.clusterMu.Lock()
+	delete(s.clusterNodes, n)
+	s.clusterMu.Unlock()
+}
+
+// DropClusterConns severs every live transport connection of every
+// cluster-mode node this daemon hosts — coordinator-local and co-hosted
+// alike. Links reconnect and replay; the play must still terminate with
+// the same outcome. It is the chaos hook behind POST /v1/cluster/drop
+// (enabled by mediatord -chaos) and returns the connections closed.
+func (s *Service) DropClusterConns() int {
+	s.clusterMu.Lock()
+	nodes := make([]*wire.Node, 0, len(s.clusterNodes))
+	for n := range s.clusterNodes {
+		nodes = append(nodes, n)
+	}
+	s.clusterMu.Unlock()
+	total := 0
+	for _, n := range nodes {
+		total += n.DropConns()
+	}
+	return total
+}
+
+// buildClusterParams compiles and validates the play parameters a join
+// request describes, mirroring session creation on the coordinator.
+func buildClusterParams(spec Spec, seed int64) (core.Params, error) {
+	spec.Peers = nil // assignment travels in Players, not the spec
+	normalizeSpec(&spec)
+	params, err := buildParams(spec)
+	if err != nil {
+		return core.Params{}, err
+	}
+	params.CoinSeed = seed
+	return params, nil
+}
+
+// vetClusterTypes validates a cluster request's type profile against the
+// compiled game.
+func vetClusterTypes(g *game.Game, raw []int) ([]game.Type, error) {
+	if len(raw) != g.N {
+		return nil, fmt.Errorf("%w: %d types for %d players", ErrBadTypes, len(raw), g.N)
+	}
+	types := make([]game.Type, len(raw))
+	for i, t := range raw {
+		if t < 0 || t >= g.NumTypes[i] {
+			return nil, fmt.Errorf("%w: type %d out of range for player %d", ErrBadTypes, t, i)
+		}
+		types[i] = game.Type(t)
+	}
+	return types, nil
+}
+
+// ClusterJoin accepts a coordinator's invitation: compile the play,
+// bind one transport listener per local player, and answer with their
+// addresses. The play is parked until ClusterStart supplies the full
+// address table; a coordinator that never starts it is reaped after a
+// grace period.
+func (s *Service) ClusterJoin(req api.ClusterJoinRequest) (api.ClusterJoinResponse, error) {
+	if req.ClusterID == "" {
+		return api.ClusterJoinResponse{}, api.Errorf(api.CodeInvalidArgument, "cluster join needs a cluster_id")
+	}
+	if len(req.Players) == 0 {
+		return api.ClusterJoinResponse{}, api.Errorf(api.CodeInvalidArgument, "cluster join names no players for this daemon")
+	}
+	params, err := buildClusterParams(req.Spec, req.Seed)
+	if err != nil {
+		return api.ClusterJoinResponse{}, err
+	}
+	types, err := vetClusterTypes(params.Game, req.Types)
+	if err != nil {
+		return api.ClusterJoinResponse{}, err
+	}
+	n := params.Game.N
+	seen := make(map[int]bool, len(req.Players))
+	for _, p := range req.Players {
+		if p < 0 || p >= n || seen[p] {
+			return api.ClusterJoinResponse{}, api.Errorf(api.CodeInvalidArgument, "bad player index %d for n=%d", p, n)
+		}
+		seen[p] = true
+	}
+	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types})
+	if err != nil {
+		return api.ClusterJoinResponse{}, err
+	}
+
+	play := &clusterPlay{
+		id:      req.ClusterID,
+		params:  params,
+		types:   types,
+		players: append([]int(nil), req.Players...),
+		nodes:   make(map[int]*wire.Node, len(req.Players)),
+	}
+	abort := func() {
+		for _, nd := range play.nodes {
+			s.unregisterClusterNode(nd)
+			nd.Stop()
+			nd.Wait()
+		}
+	}
+	for _, p := range req.Players {
+		node, err := wire.NewNode(wire.NodeConfig{
+			Self:          async.PID(p),
+			Addrs:         make([]string, n),
+			ListenAddr:    s.clusterListenAddr(),
+			AdvertiseHost: s.clusterAdvertiseHost(),
+			ClusterID:     req.ClusterID,
+			TLS:           s.clusterTLS,
+			Proc:          procs[p],
+			Seed:          req.Seed + int64(p),
+		})
+		if err == nil {
+			err = node.Listen()
+		}
+		if err != nil {
+			abort()
+			return api.ClusterJoinResponse{}, err
+		}
+		play.nodes[p] = node
+		s.registerClusterNode(node)
+	}
+
+	s.clusterMu.Lock()
+	if _, dup := s.clusterPlays[req.ClusterID]; dup {
+		s.clusterMu.Unlock()
+		abort()
+		return api.ClusterJoinResponse{}, fmt.Errorf("%w: cluster %s already joined", ErrConflict, req.ClusterID)
+	}
+	s.clusterPlays[req.ClusterID] = play
+	// Reap a play whose coordinator never starts it, so its listeners
+	// and goroutines cannot leak.
+	play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
+	s.clusterMu.Unlock()
+
+	resp := api.ClusterJoinResponse{ClusterID: req.ClusterID, Addrs: make([]string, n)}
+	for p, node := range play.nodes {
+		resp.Addrs[p] = node.Addr()
+	}
+	return resp, nil
+}
+
+// releaseClusterPlay tears down a parked play — joined-but-never-
+// started or finished-and-lingering. A play whose start is in flight is
+// left alone (its completion re-arms the release path). It reports
+// whether a play was actually released.
+func (s *Service) releaseClusterPlay(id string) bool {
+	s.clusterMu.Lock()
+	play, ok := s.clusterPlays[id]
+	if ok && play.started && !play.lingering {
+		ok = false
+	}
+	if ok {
+		delete(s.clusterPlays, id)
+		if play.expire != nil {
+			play.expire.Stop()
+		}
+	}
+	s.clusterMu.Unlock()
+	if !ok {
+		return false
+	}
+	for _, nd := range play.nodes {
+		s.unregisterClusterNode(nd)
+		nd.Stop()
+		nd.Wait()
+	}
+	return true
+}
+
+// ClusterFinish releases a lingering play's transports: the coordinator
+// calls it once every daemon's outcomes are gathered. Releasing an
+// unknown (already released) play is a successful no-op, so retries and
+// replays are harmless; finishing a play whose start is still running
+// is a lifecycle conflict.
+func (s *Service) ClusterFinish(req api.ClusterFinishRequest) (api.ClusterFinishResponse, error) {
+	if req.ClusterID == "" {
+		return api.ClusterFinishResponse{}, api.Errorf(api.CodeInvalidArgument, "cluster finish needs a cluster_id")
+	}
+	s.clusterMu.Lock()
+	play, ok := s.clusterPlays[req.ClusterID]
+	midStart := ok && play.started && !play.lingering
+	s.clusterMu.Unlock()
+	if midStart {
+		return api.ClusterFinishResponse{}, fmt.Errorf("%w: cluster %s is still running", ErrConflict, req.ClusterID)
+	}
+	released := s.releaseClusterPlay(req.ClusterID)
+	return api.ClusterFinishResponse{ClusterID: req.ClusterID, Released: released}, nil
+}
+
+// ClusterStart completes the handshake: the full player->address table
+// arrives, the parked nodes learn their peers, and the local players run
+// to termination. The response carries each local player's outcome for
+// the coordinator to merge.
+func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartResponse, error) {
+	s.clusterMu.Lock()
+	play, ok := s.clusterPlays[req.ClusterID]
+	if !ok {
+		s.clusterMu.Unlock()
+		return api.ClusterStartResponse{}, fmt.Errorf("%w %s", ErrClusterUnknown, req.ClusterID)
+	}
+	if play.started {
+		s.clusterMu.Unlock()
+		return api.ClusterStartResponse{}, fmt.Errorf("%w: cluster %s already started", ErrConflict, req.ClusterID)
+	}
+	if len(req.Addrs) != play.params.Game.N {
+		s.clusterMu.Unlock()
+		return api.ClusterStartResponse{}, api.Errorf(api.CodeInvalidArgument,
+			"address table has %d entries for n=%d", len(req.Addrs), play.params.Game.N)
+	}
+	play.started = true
+	play.expire.Stop()
+	s.clusterMu.Unlock()
+
+	results := runClusterNodes(play.nodes, req.Addrs, s.clusterTimeout())
+
+	// The local players finished, but their transports must stay alive:
+	// the resend buffers may still hold frames a slower daemon's players
+	// need (wire.Node.Run's contract — honest players relay until
+	// everyone is done). The coordinator releases the play via
+	// /v1/cluster/finish once every daemon's outcomes are gathered; the
+	// linger timer is the backstop for a coordinator that died first.
+	s.clusterMu.Lock()
+	play.lingering = true
+	play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
+	s.clusterMu.Unlock()
+	s.clusterHosted.Add(1)
+	return api.ClusterStartResponse{ClusterID: req.ClusterID, Results: results}, nil
+}
+
+// runClusterNodes runs a set of local nodes against a complete address
+// table and collects each player's terminal state. Nodes are stopped by
+// the caller once every co-hosted player of the play has finished.
+func runClusterNodes(nodes map[int]*wire.Node, addrs []string, timeout time.Duration) []api.ClusterPlayerResult {
+	players := make([]int, 0, len(nodes))
+	for p := range nodes {
+		players = append(players, p)
+	}
+	sort.Ints(players)
+
+	var wg sync.WaitGroup
+	errs := make(map[int]error, len(nodes))
+	var errMu sync.Mutex
+	for _, p := range players {
+		node := nodes[p]
+		node.SetAddrs(addrs)
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := node.Run(timeout)
+			errMu.Lock()
+			errs[p] = err
+			errMu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	results := make([]api.ClusterPlayerResult, 0, len(players))
+	for _, p := range players {
+		node := nodes[p]
+		r := node.Remote()
+		st := node.Stats()
+		res := api.ClusterPlayerResult{
+			Index:     p,
+			Halted:    r.Halted(),
+			Sent:      st.Sent,
+			Delivered: st.Delivered,
+		}
+		if err := errs[p]; err != nil {
+			if errors.Is(err, wire.ErrTimeout) {
+				res.TimedOut = true
+			} else {
+				res.Error = err.Error()
+			}
+		}
+		if mv, ok := r.Move(); ok {
+			if b, err := wire.EncodePayload(mv); err == nil {
+				res.Move = b
+			} else if res.Error == "" {
+				res.Error = fmt.Sprintf("encode move: %v", err)
+			}
+		}
+		if w, ok := r.Will(); ok {
+			if b, err := wire.EncodePayload(w); err == nil {
+				res.Will = b
+			} else if res.Error == "" {
+				res.Error = fmt.Sprintf("encode will: %v", err)
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// groupPeers buckets a spec's peer assignments by daemon address,
+// preserving deterministic (sorted-address) order.
+func groupPeers(peers []api.PeerSpec) (addrs []string, byAddr map[string][]int) {
+	byAddr = make(map[string][]int)
+	for _, p := range peers {
+		byAddr[p.Addr] = append(byAddr[p.Addr], p.Index)
+	}
+	for a := range byAddr {
+		sort.Ints(byAddr[a])
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs, byAddr
+}
+
+// runCluster plays one session across several daemons: it is to cluster
+// mode what runWire is to the single-process mesh. The coordinator hosts
+// the players no peer claimed, invites each peer daemon over the typed
+// SDK, distributes the merged address table, and folds every daemon's
+// terminal player states into one async.Result — which then resolves
+// through mediator.ResolveMoves exactly like any other play.
+func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Duration) (game.Profile, *async.Result, error) {
+	params := sess.Params()
+	n := params.Game.N
+	clusterID := fmt.Sprintf("%s.%d", sess.ID, sess.Seed())
+	peerAddrs, byAddr := groupPeers(sess.Spec.Peers)
+
+	remote := make(map[int]bool)
+	for _, players := range byAddr {
+		for _, p := range players {
+			remote[p] = true
+		}
+	}
+	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Host the unclaimed players locally.
+	local := make(map[int]*wire.Node)
+	defer func() {
+		for _, nd := range local {
+			s.unregisterClusterNode(nd)
+			nd.Stop()
+			nd.Wait()
+		}
+	}()
+	addrs := make([]string, n)
+	for p := 0; p < n; p++ {
+		if remote[p] {
+			continue
+		}
+		node, err := wire.NewNode(wire.NodeConfig{
+			Self:          async.PID(p),
+			Addrs:         make([]string, n),
+			ListenAddr:    s.clusterListenAddr(),
+			AdvertiseHost: s.clusterAdvertiseHost(),
+			ClusterID:     clusterID,
+			TLS:           s.clusterTLS,
+			Proc:          procs[p],
+			Seed:          sess.Seed() + int64(p),
+		})
+		if err == nil {
+			err = node.Listen()
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: cluster node %d: %w", p, err)
+		}
+		local[p] = node
+		s.registerClusterNode(node)
+		addrs[p] = node.Addr()
+	}
+
+	// Invite every peer daemon; each answers with its players' transport
+	// addresses. The calls ride the SDK's idempotent retry, so a blip on
+	// the control plane does not fail the play.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*timeout+30*time.Second)
+	defer cancel()
+	clients := make(map[string]*client.Client, len(peerAddrs))
+	joined := make([]string, 0, len(peerAddrs))
+	defer func() {
+		// Release every joined peer's lingering transports now that all
+		// outcomes (or the failure) are in hand. Best effort: a peer we
+		// cannot reach reaps itself on its linger timer.
+		for _, addr := range joined {
+			fctx, fcancel := context.WithTimeout(context.Background(), 15*time.Second)
+			_, _ = clients[addr].ClusterFinish(fctx, api.ClusterFinishRequest{ClusterID: clusterID})
+			fcancel()
+		}
+	}()
+	for _, addr := range peerAddrs {
+		cl, err := client.New(addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: cluster peer %s: %w", addr, err)
+		}
+		clients[addr] = cl
+		resp, err := cl.ClusterJoin(ctx, api.ClusterJoinRequest{
+			ClusterID: clusterID,
+			Spec:      sess.Spec,
+			Types:     intTypes(types),
+			Players:   byAddr[addr],
+			Seed:      sess.Seed(),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: cluster join %s: %w", addr, err)
+		}
+		joined = append(joined, addr)
+		if len(resp.Addrs) != n {
+			return nil, nil, fmt.Errorf("service: cluster join %s: %d addrs for n=%d", addr, len(resp.Addrs), n)
+		}
+		for _, p := range byAddr[addr] {
+			if resp.Addrs[p] == "" {
+				return nil, nil, fmt.Errorf("service: cluster join %s: no address for player %d", addr, p)
+			}
+			addrs[p] = resp.Addrs[p]
+		}
+	}
+
+	// Start every daemon's players concurrently: peers over HTTP, local
+	// nodes in-process. Each start blocks until that daemon's players
+	// terminate and carries their outcomes back.
+	type startReply struct {
+		addr string
+		resp api.ClusterStartResponse
+		err  error
+	}
+	replies := make(chan startReply, len(peerAddrs))
+	for _, addr := range peerAddrs {
+		addr := addr
+		go func() {
+			resp, err := clients[addr].ClusterStart(ctx, api.ClusterStartRequest{ClusterID: clusterID, Addrs: addrs})
+			replies <- startReply{addr: addr, resp: resp, err: err}
+		}()
+	}
+	localResults := runClusterNodes(local, addrs, timeout)
+
+	res := &async.Result{
+		Moves:  make(map[async.PID]any, n),
+		Wills:  make(map[async.PID]any, n),
+		Halted: make([]bool, n),
+	}
+	fold := func(from string, prs []api.ClusterPlayerResult) error {
+		for _, pr := range prs {
+			if pr.Index < 0 || pr.Index >= n {
+				return fmt.Errorf("service: cluster %s returned player %d for n=%d", from, pr.Index, n)
+			}
+			if pr.Error != "" {
+				return fmt.Errorf("service: cluster %s player %d: %s", from, pr.Index, pr.Error)
+			}
+			pid := async.PID(pr.Index)
+			if len(pr.Move) > 0 {
+				mv, err := wire.DecodePayload(pr.Move)
+				if err != nil {
+					return fmt.Errorf("service: cluster %s player %d move: %w", from, pr.Index, err)
+				}
+				res.Moves[pid] = mv
+			}
+			if len(pr.Will) > 0 {
+				w, err := wire.DecodePayload(pr.Will)
+				if err != nil {
+					return fmt.Errorf("service: cluster %s player %d will: %w", from, pr.Index, err)
+				}
+				res.Wills[pid] = w
+			}
+			res.Halted[pr.Index] = pr.Halted
+			if _, decided := res.Moves[pid]; !decided && !pr.Halted {
+				res.Deadlocked = true
+			}
+			res.Stats.MessagesSent += int(pr.Sent)
+			res.Stats.MessagesDelivered += int(pr.Delivered)
+		}
+		return nil
+	}
+	var firstErr error
+	if err := fold("local", localResults); err != nil {
+		firstErr = err
+	}
+	for range peerAddrs {
+		r := <-replies
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("service: cluster start %s: %w", r.addr, r.err)
+			}
+			continue
+		}
+		if err := fold(r.addr, r.resp.Results); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	prof := mediator.ResolveMoves(params.Game, types, res, params.Approach)
+	return prof, res, nil
+}
+
+// intTypes converts a game type profile to the contract's ints.
+func intTypes(types []game.Type) []int {
+	out := make([]int, len(types))
+	for i, t := range types {
+		out[i] = int(t)
+	}
+	return out
+}
+
+// clusterAdvertiseHost is the host co-hosted listeners advertise: the
+// configured cluster listen host unless it is a wildcard, in which case
+// the bound address is advertised as-is.
+func (s *Service) clusterAdvertiseHost() string {
+	host := s.cfg.ClusterListen
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		return ""
+	}
+	return host
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"asyncmediator/api"
@@ -43,7 +42,7 @@ func apiError(err error, fallback api.ErrorCode) *api.Error {
 	switch {
 	case errors.As(err, &ae):
 		return ae
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownExperiment):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownExperiment), errors.Is(err, ErrClusterUnknown):
 		return api.Errorf(api.CodeNotFound, "%v", err)
 	case errors.Is(err, ErrBadTypes):
 		return api.Errorf(api.CodeInvalidArgument, "%v", err)
@@ -71,32 +70,47 @@ func apiError(err error, fallback api.ErrorCode) *api.Error {
 //	GET  /v1/experiments/{name}   run a catalog experiment synchronously
 //	POST /v1/jobs                 create a persisted async experiment job
 //	GET  /v1/jobs/{id}            job snapshot; ?wait= long-polls
+//	POST /v1/cluster/join         co-host a play (daemon-to-daemon)
+//	POST /v1/cluster/start        run co-hosted players to termination
 //	GET  /v1/stats                farm-wide aggregate statistics
 //
 // plus unversioned infrastructure (GET /metrics Prometheus exposition,
-// GET /healthz liveness, GET /readyz readiness) and, for one release,
-// the pre-/v1 unversioned routes as deprecated aliases (marked with a
-// Deprecation header; GET /experiments/{id} keeps its legacy dual mode).
+// GET /healthz liveness, GET /readyz readiness with load-shedding).
+// The pre-/v1 unversioned aliases were removed after their one-release
+// deprecation window. POST handlers honour the Idempotency-Key header.
 // Everything is wrapped in the middleware stack: panic recovery,
 // request-id injection/propagation, per-request logging.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	// The versioned contract.
-	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.idempotent(s.handleSessionCreate))
 	mux.HandleFunc("GET "+api.Prefix+"/sessions", s.handleSessionList)
 	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}", s.handleSessionGet)
-	mux.HandleFunc("POST "+api.Prefix+"/sessions/{id}/types", s.handleTypesSubmit)
+	mux.HandleFunc("POST "+api.Prefix+"/sessions/{id}/types", s.idempotent(s.handleTypesSubmit))
 	mux.HandleFunc("GET "+api.Prefix+"/events", s.serveEvents)
 	mux.HandleFunc("GET "+api.Prefix+"/experiments", s.handleCatalog)
 	mux.HandleFunc("GET "+api.Prefix+"/experiments/{name}", func(w http.ResponseWriter, r *http.Request) {
 		s.serveExperimentSync(w, r, r.PathValue("name"))
 	})
-	mux.HandleFunc("POST "+api.Prefix+"/jobs", s.handleJobCreate)
+	mux.HandleFunc("POST "+api.Prefix+"/jobs", s.idempotent(s.handleJobCreate))
 	mux.HandleFunc("GET "+api.Prefix+"/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s.serveExperimentJob(w, r, r.PathValue("id"))
 	})
+	mux.HandleFunc("POST "+api.Prefix+"/cluster/join", s.idempotent(s.handleClusterJoin))
+	mux.HandleFunc("POST "+api.Prefix+"/cluster/start", s.idempotent(s.handleClusterStart))
+	mux.HandleFunc("POST "+api.Prefix+"/cluster/finish", s.idempotent(s.handleClusterFinish))
 	mux.HandleFunc("GET "+api.Prefix+"/stats", s.handleStats)
+
+	// The fault-injection hook: mounted only when chaos is explicitly
+	// enabled (mediatord -chaos), for CI smoke and game days. Wrapped in
+	// the idempotency protocol like every POST, so the SDK's keyed
+	// transport retries never double a drop.
+	if s.cfg.EnableChaos {
+		mux.HandleFunc("POST "+api.Prefix+"/cluster/drop", s.idempotent(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]int{"dropped": s.DropClusterConns()})
+		}))
+	}
 
 	// Unversioned infrastructure: scrape and probe endpoints stay where
 	// fleet tooling expects them.
@@ -115,30 +129,55 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rd)
 	})
 
-	// Deprecated pre-/v1 aliases (one release): same handlers, same
-	// bodies, flagged by a Deprecation response header.
-	mux.HandleFunc("POST /sessions", deprecated(api.Prefix+"/sessions", s.handleSessionCreate))
-	mux.HandleFunc("GET /sessions", deprecated(api.Prefix+"/sessions", s.handleSessionList))
-	mux.HandleFunc("GET /sessions/{id}", deprecated(api.Prefix+"/sessions/{id}", s.handleSessionGet))
-	mux.HandleFunc("POST /sessions/{id}/types", deprecated(api.Prefix+"/sessions/{id}/types", s.handleTypesSubmit))
-	mux.HandleFunc("GET /events", deprecated(api.Prefix+"/events", s.serveEvents))
-	mux.HandleFunc("GET /experiments", deprecated(api.Prefix+"/experiments", s.handleCatalog))
-	mux.HandleFunc("POST /experiments", deprecated(api.Prefix+"/jobs", s.handleJobCreate))
-	mux.HandleFunc("GET /stats", deprecated(api.Prefix+"/stats", s.handleStats))
-	// The legacy dual-mode route: x-… ids are async jobs, catalog names
-	// run synchronously. Under /v1 these are two distinct routes, so ids
-	// and names no longer share a namespace.
-	mux.HandleFunc("GET /experiments/{id}", deprecated(api.Prefix+"/experiments/{name} or "+api.Prefix+"/jobs/{id}",
-		func(w http.ResponseWriter, r *http.Request) {
-			id := r.PathValue("id")
-			if strings.HasPrefix(id, experimentKeyPrefix) {
-				s.serveExperimentJob(w, r, id)
-				return
-			}
-			s.serveExperimentSync(w, r, id)
-		}))
-
 	return withMiddleware(mux, s.cfg.RequestLog)
+}
+
+// handleClusterJoin answers POST /v1/cluster/join — a coordinator
+// inviting this daemon to co-host a play.
+func (s *Service) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req api.ClusterJoinRequest
+	if e := decodeBody(w, r, &req); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	resp, err := s.ClusterJoin(req)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// handleClusterStart answers POST /v1/cluster/start: it blocks while the
+// local players run and returns their terminal outcomes.
+func (s *Service) handleClusterStart(w http.ResponseWriter, r *http.Request) {
+	var req api.ClusterStartRequest
+	if e := decodeBody(w, r, &req); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	resp, err := s.ClusterStart(req)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterFinish answers POST /v1/cluster/finish — the coordinator
+// releasing a lingering play's transports.
+func (s *Service) handleClusterFinish(w http.ResponseWriter, r *http.Request) {
+	var req api.ClusterFinishRequest
+	if e := decodeBody(w, r, &req); e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	resp, err := s.ClusterFinish(req)
+	if err != nil {
+		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSessionCreate answers POST /v1/sessions.

@@ -52,11 +52,11 @@ func TestSSEDeliversTerminalEvent(t *testing.T) {
 	client := ts.Client()
 
 	var created api.Handle
-	if code, err := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
+	if code, err := postJSON(t, client, ts.URL+"/v1/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
 		t.Fatalf("create: %d %v", code, err)
 	}
 
-	resp, err := client.Get(ts.URL + "/events?session=" + created.ID)
+	resp, err := client.Get(ts.URL + "/v1/events?session=" + created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestSSEDeliversTerminalEvent(t *testing.T) {
 	// The hello frame proves the subscription is live before we submit.
 	readSSE(t, scanner, deadline, func(e sseEvent) bool { return e.name == "hello" })
 
-	if code, err := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
+	if code, err := postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types",
 		api.TypesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
 		t.Fatalf("types: %d %v", code, err)
 	}
@@ -120,15 +120,15 @@ func TestLongPollWaitsForTerminal(t *testing.T) {
 	client := ts.Client()
 
 	var created api.Handle
-	if code, err := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
+	if code, err := postJSON(t, client, ts.URL+"/v1/sessions", Spec{}, &created); err != nil || code != http.StatusCreated {
 		t.Fatalf("create: %d %v", code, err)
 	}
-	if code, err := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
+	if code, err := postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types",
 		api.TypesRequest{Types: make([]int, 5)}, nil); err != nil || code != http.StatusAccepted {
 		t.Fatalf("types: %d %v", code, err)
 	}
 	var v View
-	if code, err := getJSON(t, client, ts.URL+"/sessions/"+created.ID+"?wait=30s", &v); err != nil || code != http.StatusOK {
+	if code, err := getJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"?wait=30s", &v); err != nil || code != http.StatusOK {
 		t.Fatalf("long poll: %d %v", code, err)
 	}
 	if v.State != StateDone {
@@ -136,7 +136,7 @@ func TestLongPollWaitsForTerminal(t *testing.T) {
 	}
 	// Malformed wait is rejected.
 	var e api.ErrorEnvelope
-	if code, _ := getJSON(t, client, ts.URL+"/sessions/"+created.ID+"?wait=soon", &e); code != http.StatusBadRequest {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"?wait=soon", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad wait: %d", code)
 	}
 }
@@ -152,7 +152,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 	svc.pool.Close() // every terminal session spilled
 
 	var page api.SessionPage
-	if code, err := getJSON(t, client, ts.URL+"/sessions?state=done&offset=0&limit=4", &page); err != nil || code != http.StatusOK {
+	if code, err := getJSON(t, client, ts.URL+"/v1/sessions?state=done&offset=0&limit=4", &page); err != nil || code != http.StatusOK {
 		t.Fatalf("page 1: %d %v", code, err)
 	}
 	if page.Total != 9 || len(page.Sessions) != 4 {
@@ -161,7 +161,7 @@ func TestHTTPSessionPagination(t *testing.T) {
 	var all []string
 	for offset := 0; offset < page.Total; offset += 4 {
 		var p api.SessionPage
-		url := fmt.Sprintf("%s/sessions?state=done&offset=%d&limit=4", ts.URL, offset)
+		url := fmt.Sprintf("%s/v1/sessions?state=done&offset=%d&limit=4", ts.URL, offset)
 		if code, err := getJSON(t, client, url, &p); err != nil || code != http.StatusOK {
 			t.Fatalf("offset %d: %d %v", offset, code, err)
 		}
@@ -184,15 +184,15 @@ func TestHTTPSessionPagination(t *testing.T) {
 	}
 	// Filters validate.
 	var e api.ErrorEnvelope
-	if code, _ := getJSON(t, client, ts.URL+"/sessions?state=sideways", &e); code != http.StatusBadRequest {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/sessions?state=sideways", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad state filter: %d", code)
 	}
-	if code, _ := getJSON(t, client, ts.URL+"/sessions?offset=-1", &e); code != http.StatusBadRequest {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/sessions?offset=-1", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad offset: %d", code)
 	}
 	// Unfiltered listing works too.
 	var full api.SessionPage
-	if code, err := getJSON(t, client, ts.URL+"/sessions", &full); err != nil || code != http.StatusOK || full.Total != 9 {
+	if code, err := getJSON(t, client, ts.URL+"/v1/sessions", &full); err != nil || code != http.StatusOK || full.Total != 9 {
 		t.Fatalf("unfiltered: %d %v total=%d", code, err, full.Total)
 	}
 }
@@ -204,7 +204,7 @@ func TestHTTPAsyncExperiments(t *testing.T) {
 	client := ts.Client()
 
 	var created api.Handle
-	code, err := postJSON(t, client, ts.URL+"/experiments", ExpRequest{Experiment: "e8", Trials: 2}, &created)
+	code, err := postJSON(t, client, ts.URL+"/v1/jobs", ExpRequest{Experiment: "e8", Trials: 2}, &created)
 	if err != nil || code != http.StatusCreated {
 		t.Fatalf("create job: %d %v", code, err)
 	}
@@ -212,7 +212,7 @@ func TestHTTPAsyncExperiments(t *testing.T) {
 		t.Fatalf("job id %q", created.ID)
 	}
 	var v ExpView
-	if code, err := getJSON(t, client, ts.URL+"/experiments/"+created.ID+"?wait=30s", &v); err != nil || code != http.StatusOK {
+	if code, err := getJSON(t, client, ts.URL+"/v1/jobs/"+created.ID+"?wait=30s", &v); err != nil || code != http.StatusOK {
 		t.Fatalf("poll job: %d %v", code, err)
 	}
 	if v.State != StateDone || v.Table == nil || v.Table.ID != "e8" || len(v.Table.Rows) == 0 {
@@ -220,17 +220,17 @@ func TestHTTPAsyncExperiments(t *testing.T) {
 	}
 
 	var e api.ErrorEnvelope
-	if code, _ := postJSON(t, client, ts.URL+"/experiments", ExpRequest{Experiment: "nope"}, &e); code != http.StatusNotFound {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/jobs", ExpRequest{Experiment: "nope"}, &e); code != http.StatusNotFound {
 		t.Fatalf("unknown experiment: %d", code)
 	}
-	if code, _ := getJSON(t, client, ts.URL+"/experiments/x-424242", &e); code != http.StatusNotFound {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/jobs/x-424242", &e); code != http.StatusNotFound {
 		t.Fatalf("unknown job: %d", code)
 	}
 	// The synchronous catalog path still answers beside the job path.
 	var tab struct {
 		ID string `json:"id"`
 	}
-	if code, err := getJSON(t, client, ts.URL+"/experiments/e8?trials=2", &tab); err != nil || code != http.StatusOK || tab.ID != "e8" {
+	if code, err := getJSON(t, client, ts.URL+"/v1/experiments/e8?trials=2", &tab); err != nil || code != http.StatusOK || tab.ID != "e8" {
 		t.Fatalf("sync path: %d %v %+v", code, err, tab)
 	}
 }

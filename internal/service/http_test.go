@@ -83,7 +83,7 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 					spec = Spec{} // default serving configuration (n=5, t=1, 4.1)
 				}
 				var created api.Handle
-				code, err := postJSON(t, client, ts.URL+"/sessions", spec, &created)
+				code, err := postJSON(t, client, ts.URL+"/v1/sessions", spec, &created)
 				if err != nil {
 					return err
 				}
@@ -96,7 +96,7 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 				}
 				types := make([]int, n)
 				var accepted api.Handle
-				code, err = postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types",
+				code, err = postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types",
 					api.TypesRequest{Types: types}, &accepted)
 				if err != nil {
 					return err
@@ -108,7 +108,7 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 				deadline := time.Now().Add(60 * time.Second)
 				for {
 					var v View
-					code, err := getJSON(t, client, ts.URL+"/sessions/"+created.ID, &v)
+					code, err := getJSON(t, client, ts.URL+"/v1/sessions/"+created.ID, &v)
 					if err != nil {
 						return err
 					}
@@ -149,7 +149,7 @@ func TestHTTPSessionFarm256Concurrent(t *testing.T) {
 
 	// Farm-level accounting must agree with the client count.
 	var sv StatsView
-	if code, err := getJSON(t, ts.Client(), ts.URL+"/stats", &sv); err != nil || code != http.StatusOK {
+	if code, err := getJSON(t, ts.Client(), ts.URL+"/v1/stats", &sv); err != nil || code != http.StatusOK {
 		t.Fatalf("stats: %d %v", code, err)
 	}
 	if sv.Sessions != sessions || sv.Failed != 0 {
@@ -171,11 +171,11 @@ func TestHTTPErrorPaths(t *testing.T) {
 	client := ts.Client()
 
 	// Bad spec.
-	if code, _ := postJSON(t, client, ts.URL+"/sessions", Spec{Game: "poker"}, &api.ErrorEnvelope{}); code != http.StatusBadRequest {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions", Spec{Game: "poker"}, &api.ErrorEnvelope{}); code != http.StatusBadRequest {
 		t.Fatalf("bad spec: status %d", code)
 	}
 	// Unknown fields rejected (strict decoding).
-	resp, err := client.Post(ts.URL+"/sessions", "application/json", bytes.NewReader([]byte(`{"bogus":1}`)))
+	resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader([]byte(`{"bogus":1}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,25 +185,25 @@ func TestHTTPErrorPaths(t *testing.T) {
 	}
 	// Unknown session.
 	var e api.ErrorEnvelope
-	if code, _ := getJSON(t, client, ts.URL+"/sessions/s-424242", &e); code != http.StatusNotFound {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/sessions/s-424242", &e); code != http.StatusNotFound {
 		t.Fatalf("unknown session: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/s-424242/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusNotFound {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions/s-424242/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusNotFound {
 		t.Fatalf("types for unknown session: status %d", code)
 	}
 	// Malformed types.
 	var created api.Handle
-	if code, _ := postJSON(t, client, ts.URL+"/sessions", Spec{}, &created); code != http.StatusCreated {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions", Spec{}, &created); code != http.StatusCreated {
 		t.Fatalf("create: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusBadRequest {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0}}, &e); code != http.StatusBadRequest {
 		t.Fatalf("short types: status %d", code)
 	}
 	// A lifecycle conflict (double submission) is a 409, not a 400.
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, nil); code != http.StatusAccepted {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, nil); code != http.StatusAccepted {
 		t.Fatalf("types: status %d", code)
 	}
-	if code, _ := postJSON(t, client, ts.URL+"/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, &e); code != http.StatusConflict {
+	if code, _ := postJSON(t, client, ts.URL+"/v1/sessions/"+created.ID+"/types", api.TypesRequest{Types: []int{0, 0, 0, 0, 0}}, &e); code != http.StatusConflict {
 		t.Fatalf("double submission: status %d", code)
 	}
 	// Health.
@@ -223,7 +223,7 @@ func TestHTTPExperiments(t *testing.T) {
 	var cat struct {
 		Experiments []sim.Experiment `json:"experiments"`
 	}
-	if code, err := getJSON(t, client, ts.URL+"/experiments", &cat); code != http.StatusOK || err != nil {
+	if code, err := getJSON(t, client, ts.URL+"/v1/experiments", &cat); code != http.StatusOK || err != nil {
 		t.Fatalf("catalog: status %d err %v", code, err)
 	}
 	if len(cat.Experiments) != 8 || cat.Experiments[0].ID != "e1" {
@@ -231,7 +231,7 @@ func TestHTTPExperiments(t *testing.T) {
 	}
 
 	var tab sim.Table
-	if code, err := getJSON(t, client, ts.URL+"/experiments/e8?trials=2&seed=5", &tab); code != http.StatusOK || err != nil {
+	if code, err := getJSON(t, client, ts.URL+"/v1/experiments/e8?trials=2&seed=5", &tab); code != http.StatusOK || err != nil {
 		t.Fatalf("run e8: status %d err %v", code, err)
 	}
 	if tab.ID != "e8" || len(tab.Rows) == 0 {
@@ -239,17 +239,17 @@ func TestHTTPExperiments(t *testing.T) {
 	}
 
 	var e api.ErrorEnvelope
-	if code, _ := getJSON(t, client, ts.URL+"/experiments/e99", &e); code != http.StatusNotFound {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/experiments/e99", &e); code != http.StatusNotFound {
 		t.Fatalf("unknown experiment: status %d", code)
 	}
-	if code, _ := getJSON(t, client, ts.URL+"/experiments/e8?trials=zero", &e); code != http.StatusBadRequest {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/experiments/e8?trials=zero", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad trials: status %d", code)
 	}
-	if code, _ := getJSON(t, client, ts.URL+"/experiments/e8?seed=x", &e); code != http.StatusBadRequest {
+	if code, _ := getJSON(t, client, ts.URL+"/v1/experiments/e8?seed=x", &e); code != http.StatusBadRequest {
 		t.Fatalf("bad seed: status %d", code)
 	}
 	// Seeds may be zero or negative — any int64 a CLI sweep accepts.
-	if code, err := getJSON(t, client, ts.URL+"/experiments/e8?trials=2&seed=-3", &tab); code != http.StatusOK || err != nil {
+	if code, err := getJSON(t, client, ts.URL+"/v1/experiments/e8?trials=2&seed=-3", &tab); code != http.StatusOK || err != nil {
 		t.Fatalf("negative seed: status %d err %v", code, err)
 	}
 }

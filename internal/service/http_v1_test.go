@@ -280,31 +280,28 @@ func TestV1RouteSplitAndAliases(t *testing.T) {
 	status, e = postEnvelope(t, client, ts.URL+"/v1/jobs", `{"experiment":"e99"}`)
 	expectCode(t, status, e, api.CodeNotFound)
 
-	// Legacy aliases: same bodies, Deprecation header, successor link.
+	// The pre-/v1 unversioned aliases are gone (their one-release
+	// deprecation window ended); only the infrastructure probes remain
+	// unversioned.
 	for _, path := range []string{"/sessions", "/experiments", "/experiments/" + created.ID, "/stats"} {
 		resp, err := client.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("removed alias %s still answers: %d", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/metrics", "/healthz", "/readyz"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("alias %s: %d", path, resp.StatusCode)
+			t.Fatalf("probe %s: %d", path, resp.StatusCode)
 		}
-		if resp.Header.Get("Deprecation") != "true" {
-			t.Fatalf("alias %s lacks Deprecation header", path)
-		}
-		if link := resp.Header.Get("Link"); !strings.Contains(link, api.Prefix) {
-			t.Fatalf("alias %s successor link %q", path, link)
-		}
-	}
-	// The versioned routes are not marked deprecated.
-	resp, err := client.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.Header.Get("Deprecation") != "" {
-		t.Fatal("/v1 route marked deprecated")
 	}
 }
 

@@ -29,8 +29,11 @@ func writeMetrics(w http.ResponseWriter, sv StatsView) {
 	counter("mediatord_messages_sent_total", "Protocol messages sent across all plays.", sv.MessagesSent)
 	counter("mediatord_messages_delivered_total", "Protocol messages delivered across all plays.", sv.MessagesDelivered)
 	counter("mediatord_steps_total", "Simulation steps executed across all plays.", sv.Steps)
+	counter("mediatord_shed_intervals_total", "Entries into load-shedding readiness (queue at or above the watermark).", sv.ShedIntervals)
+	counter("mediatord_cluster_plays_hosted_total", "Plays co-hosted for remote coordinators (cluster mode).", sv.ClusterPlaysHosted)
 	gauge("mediatord_sessions_live", "Sessions currently held in memory.", float64(sv.SessionsLive))
 	gauge("mediatord_sessions_persisted", "Session records in the durable store.", float64(sv.SessionsPersisted))
+	gauge("mediatord_queue_depth", "Jobs queued behind the worker pool.", float64(sv.QueueDepth))
 	gauge("mediatord_workers", "Worker-pool size.", float64(sv.Workers))
 	gauge("mediatord_uptime_seconds", "Seconds since the farm started.", sv.UptimeSeconds)
 

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -125,13 +127,168 @@ func withMiddleware(h http.Handler, logf func(format string, args ...any)) http.
 	})
 }
 
-// deprecated marks a legacy unversioned route: the handler still serves
-// the /v1 body, but every response carries deprecation headers pointing
-// at the successor so clients can migrate before the aliases go away.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+// idemEntry is one cached POST outcome: dupes of the key replay it
+// verbatim. done closes when the first request finishes, so concurrent
+// dupes wait instead of double-executing.
+type idemEntry struct {
+	done        chan struct{}
+	status      int
+	contentType string
+	body        []byte
+	stored      bool // false: the outcome was transient and not cached
+}
+
+// idemCache is the farm's keyed-response store behind the
+// Idempotency-Key header: a bounded FIFO map with single-flight
+// semantics per key.
+type idemCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*idemEntry
+	order   []string
+}
+
+func newIdemCache(cap int) *idemCache {
+	if cap < 1 {
+		cap = 1
+	}
+	return &idemCache{cap: cap, entries: make(map[string]*idemEntry)}
+}
+
+// begin claims a key: the first caller becomes the owner (executes the
+// handler); later callers receive the existing entry to wait on.
+func (c *idemCache) begin(key string) (*idemEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	// Evict completed entries beyond the cap, oldest first. In-flight
+	// entries are never evicted: removing one would let a concurrent
+	// retry of its key become a second owner and double-execute. Stale
+	// order slots (keys whose entry was replaced or already removed)
+	// are simply dropped.
+	for len(c.order) > c.cap {
+		evicted := false
+		for i := 0; i < len(c.order) && len(c.order) > c.cap; i++ {
+			k := c.order[0]
+			c.order = c.order[1:]
+			e2, ok := c.entries[k]
+			if !ok {
+				evicted = true // stale slot reclaimed
+				continue
+			}
+			select {
+			case <-e2.done:
+				delete(c.entries, k)
+				evicted = true
+			default:
+				c.order = append(c.order, k) // in flight: keep
+			}
+		}
+		if !evicted {
+			break // everything in flight; tolerate temporary overflow
+		}
+	}
+	return e, true
+}
+
+// finish records the owner's outcome. Transient failures (5xx,
+// backpressure) are not cached: the key is released so a retry truly
+// re-executes. The release checks entry identity, so it can never
+// remove a newer entry that has since claimed the same key.
+func (c *idemCache) finish(key string, e *idemEntry, status int, contentType string, body []byte) {
+	cacheIt := status < http.StatusInternalServerError && status != http.StatusServiceUnavailable
+	c.mu.Lock()
+	e.status, e.contentType, e.body, e.stored = status, contentType, body, cacheIt
+	if !cacheIt {
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// responseRecorder buffers a handler's response so it can be both sent
+// and cached.
+type responseRecorder struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.hdr }
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(b)
+}
+
+// idempotent wraps a POST handler in the Idempotency-Key protocol: a
+// keyed request executes at most once; repeats (including concurrent
+// ones) replay the first completed response, flagged with the
+// Idempotency-Replayed header. Unkeyed requests pass straight through.
+func (s *Service) idempotent(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+		key := r.Header.Get(api.IdempotencyKeyHeader)
+		if key == "" {
+			h(w, r)
+			return
+		}
+		key = r.Method + " " + r.URL.Path + "\x00" + key
+		var e *idemEntry
+		for {
+			var owner bool
+			e, owner = s.idem.begin(key)
+			if owner {
+				break
+			}
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				return
+			case <-s.stopc:
+				writeAPIError(w, api.Errorf(api.CodeNotReady, "draining for shutdown"))
+				return
+			}
+			if e.stored {
+				if e.contentType != "" {
+					w.Header().Set("Content-Type", e.contentType)
+				}
+				w.Header().Set(api.IdempotencyReplayedHeader, "true")
+				w.WriteHeader(e.status)
+				_, _ = w.Write(e.body)
+				return
+			}
+			// The attempt we waited on ended transiently and released the
+			// key. Re-claim it: exactly one of the waiting retries becomes
+			// the new owner and re-executes; the rest wait again.
+		}
+		rec := &responseRecorder{hdr: make(http.Header)}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		body := rec.buf.Bytes()
+		s.idem.finish(key, e, rec.status, rec.hdr.Get("Content-Type"), body)
+		for k, vs := range rec.hdr {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.status)
+		_, _ = w.Write(body)
 	}
 }

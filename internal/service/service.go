@@ -18,6 +18,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,11 +26,13 @@ import (
 
 	"asyncmediator/api"
 	"asyncmediator/internal/async"
+	"asyncmediator/internal/cluster"
 	"asyncmediator/internal/events"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/pool"
 	"asyncmediator/internal/sim"
 	"asyncmediator/internal/store"
+	"asyncmediator/internal/wire"
 )
 
 // ErrQueueFull signals farm saturation; clients should back off and retry.
@@ -79,6 +82,22 @@ type Config struct {
 	// (and per recovered handler panic) from the middleware stack; nil
 	// disables request logging. Printf-shaped so log.Printf drops in.
 	RequestLog func(format string, args ...any)
+	// ClusterListen is the host cluster-mode transport listeners bind
+	// (one ephemeral port per co-hosted player). It is also the host
+	// advertised to peer daemons, so it must be reachable from them;
+	// default "127.0.0.1" (single-machine clusters).
+	ClusterListen string
+	// TLSCert/TLSKey/TLSCA are PEM files enabling mutual TLS on every
+	// cluster transport connection. All three or none.
+	TLSCert, TLSKey, TLSCA string
+	// ReadyWatermark makes GET /readyz shed load: at or above this many
+	// queued jobs the daemon reports not-ready so load balancers route
+	// around it (0: disabled).
+	ReadyWatermark int
+	// EnableChaos mounts POST /v1/cluster/drop, the fault-injection hook
+	// that severs every live cluster transport connection (CI smoke and
+	// game-day tooling). Never enable in production.
+	EnableChaos bool
 }
 
 func (c *Config) normalize() {
@@ -125,8 +144,25 @@ type Service struct {
 	// moment shutdown begins — so a load balancer never routes to a
 	// daemon mid-replay or mid-drain.
 	ready atomic.Int32
+	// shedding tracks whether the last readiness probe shed for load;
+	// shedIntervals counts entries into that state.
+	shedding      atomic.Bool
+	shedIntervals atomic.Int64
 
 	persistErrs atomic.Int64
+
+	// Cluster mode: plays this daemon co-hosts for remote coordinators,
+	// plus every live cluster-transport node (local and co-hosted) for
+	// the fault-injection hook.
+	clusterMu     sync.Mutex
+	clusterPlays  map[string]*clusterPlay
+	clusterNodes  map[*wire.Node]struct{}
+	clusterHosted atomic.Int64
+	clusterTLS    *cluster.TLS
+
+	// idem caches POST responses by Idempotency-Key so clients can retry
+	// creates over transport failures.
+	idem *idemCache
 }
 
 // New starts a farm: workers are live and accepting sessions when it
@@ -136,6 +172,17 @@ type Service struct {
 // Experiment sweeps share the same worker pool as hosted plays.
 func New(cfg Config) (*Service, error) {
 	cfg.normalize()
+	var clusterTLS *cluster.TLS
+	switch {
+	case cfg.TLSCert != "" && cfg.TLSKey != "" && cfg.TLSCA != "":
+		var err error
+		clusterTLS, err = cluster.LoadTLS(cfg.TLSCert, cfg.TLSKey, cfg.TLSCA)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.TLSCert != "" || cfg.TLSKey != "" || cfg.TLSCA != "":
+		return nil, fmt.Errorf("service: cluster TLS needs all of cert, key, and CA (or none)")
+	}
 	var st *store.Store
 	if cfg.DataDir != "" {
 		var err error
@@ -145,13 +192,17 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	s := &Service{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.BaseSeed, cfg.MaxN, cfg.MaxLiveSessions, st),
-		sink:  NewSink(cfg.Workers),
-		bus:   events.NewBus(),
-		st:    st,
-		stopc: make(chan struct{}),
-		start: time.Now(),
+		cfg:          cfg,
+		reg:          NewRegistry(cfg.BaseSeed, cfg.MaxN, cfg.MaxLiveSessions, st),
+		sink:         NewSink(cfg.Workers),
+		bus:          events.NewBus(),
+		st:           st,
+		stopc:        make(chan struct{}),
+		start:        time.Now(),
+		clusterPlays: make(map[string]*clusterPlay),
+		clusterNodes: make(map[*wire.Node]struct{}),
+		clusterTLS:   clusterTLS,
+		idem:         newIdemCache(1024),
 	}
 	s.exps = make(map[string]*ExpJob)
 	s.recoverExperiments()
@@ -165,10 +216,22 @@ func New(cfg Config) (*Service, error) {
 }
 
 // Readiness reports whether the farm should receive traffic, with a
-// reason when it should not — the body of GET /readyz.
+// reason when it should not — the body of GET /readyz. A serving daemon
+// additionally sheds load: with ReadyWatermark configured, a queue depth
+// at or above the watermark reports not-ready so load balancers smooth
+// saturation before backpressure turns into pool_saturated errors.
 func (s *Service) Readiness() api.Readiness {
 	switch s.ready.Load() {
 	case readyServing:
+		if wm := s.cfg.ReadyWatermark; wm > 0 {
+			if depth := s.pool.QueueLen(); depth >= wm {
+				if s.shedding.CompareAndSwap(false, true) {
+					s.shedIntervals.Add(1)
+				}
+				return api.Readiness{Reason: fmt.Sprintf("shedding load: queue depth %d at or above watermark %d", depth, wm)}
+			}
+			s.shedding.Store(false)
+		}
 		return api.Readiness{Ready: true}
 	case readyDraining:
 		return api.Readiness{Reason: "draining for shutdown"}
@@ -278,9 +341,12 @@ func (s *Service) exec(worker int, sess *Session) {
 		res  *async.Result
 		err  error
 	)
-	if sess.Spec.Backend == "wire" {
+	switch {
+	case len(sess.Spec.Peers) > 0:
+		prof, res, err = s.runCluster(sess, types, s.cfg.WireTimeout)
+	case sess.Spec.Backend == "wire":
 		prof, res, err = runWire(sess, types, s.cfg.WireTimeout)
-	} else {
+	default:
 		prof, res, err = runSim(sess, types)
 	}
 	sess.finish(prof, res, err)
@@ -319,14 +385,17 @@ func (s *Service) Stats() StatsView {
 	tot := s.sink.Snapshot()
 	up := time.Since(s.start).Seconds()
 	v := StatsView{
-		StatsTotals:     tot,
-		SessionsCreated: int(s.reg.Created()),
-		SessionsLive:    s.reg.Len(),
-		SessionsEvicted: s.reg.Evicted(),
-		PersistErrors:   s.persistErrs.Load(),
-		States:          s.reg.StateCounts(),
-		Workers:         s.cfg.Workers,
-		UptimeSeconds:   up,
+		StatsTotals:        tot,
+		SessionsCreated:    int(s.reg.Created()),
+		SessionsLive:       s.reg.Len(),
+		SessionsEvicted:    s.reg.Evicted(),
+		PersistErrors:      s.persistErrs.Load(),
+		States:             s.reg.StateCounts(),
+		Workers:            s.cfg.Workers,
+		UptimeSeconds:      up,
+		QueueDepth:         s.pool.QueueLen(),
+		ShedIntervals:      s.shedIntervals.Load(),
+		ClusterPlaysHosted: s.clusterHosted.Load(),
 	}
 	if s.st != nil {
 		v.SessionsPersisted = s.st.Count(sessionKeyPrefix)
@@ -345,6 +414,18 @@ func (s *Service) Stats() StatsView {
 // collector exits.
 func (s *Service) Close() {
 	s.beginShutdown()
+	// Release parked co-hosted cluster plays (never-started or
+	// lingering), so their transport listeners and goroutines cannot
+	// outlive the farm.
+	s.clusterMu.Lock()
+	pending := make([]string, 0, len(s.clusterPlays))
+	for id := range s.clusterPlays {
+		pending = append(pending, id)
+	}
+	s.clusterMu.Unlock()
+	for _, id := range pending {
+		s.releaseClusterPlay(id)
+	}
 	s.pool.Close()
 	s.jobs.Wait()
 	if s.st != nil {

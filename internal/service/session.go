@@ -53,7 +53,11 @@ func normalizeSpec(s *Spec) {
 		s.Scheduler = "roundrobin"
 	}
 	if s.Backend == "" {
-		s.Backend = "sim"
+		if len(s.Peers) > 0 {
+			s.Backend = "wire" // cluster mode is the wire backend across daemons
+		} else {
+			s.Backend = "sim"
+		}
 	}
 	if s.MaxSteps == 0 {
 		s.MaxSteps = 50_000_000
@@ -95,6 +99,24 @@ func buildParams(s Spec) (core.Params, error) {
 	case "sim", "wire":
 	default:
 		return core.Params{}, fmt.Errorf("service: unknown backend %q (want sim or wire)", s.Backend)
+	}
+	if len(s.Peers) > 0 {
+		if s.Backend != "wire" {
+			return core.Params{}, fmt.Errorf("service: peers require the wire backend, not %q", s.Backend)
+		}
+		seen := make(map[int]bool, len(s.Peers))
+		for _, peer := range s.Peers {
+			if peer.Index < 0 || peer.Index >= p.Game.N {
+				return core.Params{}, fmt.Errorf("service: peer index %d out of range for n=%d", peer.Index, p.Game.N)
+			}
+			if seen[peer.Index] {
+				return core.Params{}, fmt.Errorf("service: player %d assigned to more than one peer", peer.Index)
+			}
+			seen[peer.Index] = true
+			if peer.Addr == "" {
+				return core.Params{}, fmt.Errorf("service: peer for player %d has no address", peer.Index)
+			}
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return core.Params{}, err

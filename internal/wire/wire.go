@@ -4,10 +4,14 @@
 // reliable broadcast, Byzantine agreement, the full cheap-talk players —
 // run unmodified across machine boundaries.
 //
-// The mesh is intentionally simple (static membership, dial-retry, no TLS,
-// no reconnection): it demonstrates deployment shape, not hardening. The
-// quantitative experiments all use the deterministic runtime, where the
-// scheduler is an object of study.
+// The mesh rides on the hardened cluster transport (internal/cluster):
+// per-peer outbound write queues, a versioned HELLO handshake scoped to
+// one cluster session, optional mutual TLS, and automatic reconnect with
+// sequence-numbered resend buffers, so a dropped connection replays its
+// unacknowledged frames instead of silently muting a peer. The loopback
+// mesh a single daemon forms (NewLocalMesh) is simply the one-failure-
+// domain special case of that transport; cross-process sessions differ
+// only in configuration (addresses, cluster id, TLS), not code path.
 package wire
 
 import (
@@ -17,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +28,7 @@ import (
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/avss"
 	"asyncmediator/internal/ba"
+	"asyncmediator/internal/cluster"
 	"asyncmediator/internal/field"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
@@ -64,7 +68,7 @@ var registerOnce sync.Once
 // from transport failures with errors.Is.
 var ErrTimeout = errors.New("wire: timeout")
 
-// frame is the on-wire unit.
+// frame is the gob-framed unit the transport's opaque payloads carry.
 type frame struct {
 	From    async.PID
 	To      async.PID
@@ -107,36 +111,67 @@ func Decode(r io.Reader) (frame, error) {
 	return f, nil
 }
 
+// EncodePayload gob-frames one registered protocol value as opaque
+// bytes — how cluster mode ships moves and wills between daemons
+// without widening the JSON contract.
+func EncodePayload(v any) ([]byte, error) {
+	RegisterTypes()
+	var buf bytes.Buffer
+	if err := Encode(&buf, frame{Payload: v}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	RegisterTypes()
+	f, err := Decode(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return f.Payload, nil
+}
+
 // NodeConfig configures one mesh participant.
 type NodeConfig struct {
-	// Self is this node's player id; Addrs[Self] must be its listen
-	// address (host:port; port 0 is not supported — agree on ports first).
+	// Self is this node's player id; Addrs[Self] is its listen address
+	// unless ListenAddr overrides it. Entries for peers hosted elsewhere
+	// may be empty at construction and supplied later via SetPeerAddr —
+	// the cluster transport dials lazily with retry.
 	Self  async.PID
 	Addrs []string
+	// ListenAddr overrides Addrs[Self] as the bind address (a daemon
+	// co-hosting a play binds "host:0" and advertises the learned port).
+	ListenAddr string
+	// AdvertiseHost replaces the host in Addr() for nodes that bind a
+	// wildcard interface.
+	AdvertiseHost string
+	// ClusterID scopes the transport handshake to one play; every node of
+	// a mesh must agree on it (default "local").
+	ClusterID string
+	// TLS enables mutual TLS between nodes (nil: plaintext loopback).
+	TLS *cluster.TLS
 	// Players is the number of game players (defaults to len(Addrs)).
 	Players int
 	// Proc is the protocol process to run.
 	Proc async.Process
 	// Seed seeds this node's private randomness.
 	Seed int64
-	// DialTimeout bounds the initial mesh formation.
+	// DialTimeout bounds one dial attempt (the transport retries with
+	// backoff until the node stops).
 	DialTimeout time.Duration
 }
 
-// Node is one TCP mesh participant executing a Process.
+// Node is one mesh participant executing a Process on the cluster
+// transport.
 type Node struct {
 	cfg    NodeConfig
 	remote *async.Remote
-	ln     net.Listener
+	tr     *cluster.Transport
 
-	mu    sync.Mutex
-	conns map[async.PID]net.Conn
-	seq   map[async.PID]int
-
-	inbox   chan frame
 	done    chan struct{}
 	stopped sync.Once
-	wg      sync.WaitGroup
 
 	sent      atomic.Int64
 	delivered atomic.Int64
@@ -144,16 +179,22 @@ type Node struct {
 
 // NodeStats are the node's cumulative traffic counters. Sent counts every
 // payload handed to the transport (loopback included); Delivered counts
-// frames consumed by the process's Deliver loop.
+// frames consumed by the process's Deliver loop. Transport carries the
+// underlying link counters (resends, reconnects, duplicates).
 type NodeStats struct {
 	Sent      int64
 	Delivered int64
+	Transport cluster.Stats
 }
 
 // Stats returns a snapshot of the traffic counters. Safe to call from any
 // goroutine, including while Run is in flight.
 func (n *Node) Stats() NodeStats {
-	return NodeStats{Sent: n.sent.Load(), Delivered: n.delivered.Load()}
+	st := NodeStats{Sent: n.sent.Load(), Delivered: n.delivered.Load()}
+	if n.tr != nil {
+		st.Transport = n.tr.Stats()
+	}
+	return st
 }
 
 // Remote returns the node's local game-state backend (moves, wills, halt
@@ -172,188 +213,146 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Players == 0 {
 		cfg.Players = len(cfg.Addrs)
 	}
-	if cfg.DialTimeout == 0 {
-		cfg.DialTimeout = 10 * time.Second
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = cfg.Addrs[cfg.Self]
 	}
 	n := &Node{
-		cfg:   cfg,
-		conns: make(map[async.PID]net.Conn),
-		seq:   make(map[async.PID]int),
-		inbox: make(chan frame, 4096),
-		done:  make(chan struct{}),
+		cfg:  cfg,
+		done: make(chan struct{}),
 	}
 	n.remote = async.NewRemote(cfg.Self, len(cfg.Addrs), cfg.Players, cfg.Seed, n.send)
 	return n, nil
 }
 
-// Listen binds the node's listen address. Call before Run on all nodes so
-// the mesh can form.
+// Listen binds the node's transport listener. Call before Run on all
+// nodes so the mesh can form; Addr reports the bound address.
 func (n *Node) Listen() error {
-	ln, err := net.Listen("tcp", n.cfg.Addrs[n.cfg.Self])
-	if err != nil {
-		return fmt.Errorf("wire: listen %s: %w", n.cfg.Addrs[n.cfg.Self], err)
+	if n.tr != nil {
+		return nil
 	}
-	n.attach(ln)
+	tr, err := cluster.New(cluster.Config{
+		Self:          int(n.cfg.Self),
+		N:             len(n.cfg.Addrs),
+		ClusterID:     n.cfg.ClusterID,
+		ListenAddr:    n.cfg.ListenAddr,
+		AdvertiseHost: n.cfg.AdvertiseHost,
+		TLS:           n.cfg.TLS,
+		DialTimeout:   n.cfg.DialTimeout,
+	})
+	if err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	n.tr = tr
+	for p, addr := range n.cfg.Addrs {
+		if p != int(n.cfg.Self) && addr != "" {
+			tr.SetPeerAddr(p, addr)
+		}
+	}
 	return nil
 }
 
-// attach adopts a pre-bound listener and starts accepting.
-func (n *Node) attach(ln net.Listener) {
-	n.ln = ln
-	n.wg.Add(1)
-	go n.acceptLoop()
+// SetPeerAddr supplies one peer's transport address after construction —
+// how a co-hosting daemon completes the table once every daemon has
+// bound its listeners.
+func (n *Node) SetPeerAddr(peer async.PID, addr string) {
+	if n.tr != nil {
+		n.tr.SetPeerAddr(int(peer), addr)
+	}
+}
+
+// SetAddrs fills the whole peer address table (empty entries skipped).
+func (n *Node) SetAddrs(addrs []string) {
+	if n.tr != nil {
+		n.tr.SetAddrs(addrs)
+	}
+}
+
+// DropConns severs every live transport connection (fault injection);
+// links reconnect and replay. It returns the number closed.
+func (n *Node) DropConns() int {
+	if n.tr == nil {
+		return 0
+	}
+	return n.tr.DropConns()
 }
 
 // NewLocalMesh builds a complete loopback mesh for the given processes:
 // every node gets its own ephemeral 127.0.0.1 port (no port agreement
 // needed) and is already listening when this returns, so Run may be called
 // on all nodes concurrently. players follows NodeConfig.Players semantics;
-// node i's randomness derives from seed and i.
+// node i's randomness derives from seed and i. This is the single-daemon
+// special case of the cluster transport: same handshake, same framing,
+// same reconnect semantics, all failure domains in one process.
 func NewLocalMesh(procs []async.Process, players int, seed int64) ([]*Node, error) {
 	if len(procs) == 0 {
 		return nil, fmt.Errorf("wire: empty mesh")
 	}
-	lns := make([]net.Listener, len(procs))
-	addrs := make([]string, len(procs))
-	closeAll := func() {
-		for _, ln := range lns {
-			if ln != nil {
-				ln.Close()
+	nodes := make([]*Node, len(procs))
+	cleanup := func() {
+		for _, nd := range nodes {
+			if nd != nil {
+				nd.Stop()
 			}
 		}
 	}
-	for i := range procs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("wire: local mesh listen: %w", err)
-		}
-		lns[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	nodes := make([]*Node, len(procs))
+	addrs := make([]string, len(procs))
 	for i, proc := range procs {
 		node, err := NewNode(NodeConfig{
-			Self: async.PID(i), Addrs: addrs, Players: players,
+			Self: async.PID(i), Addrs: make([]string, len(procs)),
+			ListenAddr: "127.0.0.1:0", Players: players,
 			Proc: proc, Seed: seed + int64(i),
 		})
 		if err != nil {
-			closeAll()
-			for _, nd := range nodes {
-				if nd != nil {
-					nd.Stop()
-				}
-			}
+			cleanup()
 			return nil, err
 		}
-		node.attach(lns[i])
-		lns[i] = nil // owned by the node from here on
+		if err := node.Listen(); err != nil {
+			cleanup()
+			return nil, err
+		}
 		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	for _, node := range nodes {
+		node.SetAddrs(addrs)
 	}
 	return nodes, nil
 }
 
-// Addr returns the bound listen address.
+// Addr returns the bound listen address ("" before Listen).
 func (n *Node) Addr() string {
-	if n.ln == nil {
+	if n.tr == nil {
 		return ""
 	}
-	return n.ln.Addr().String()
+	return n.tr.Addr()
 }
 
-func (n *Node) acceptLoop() {
-	defer n.wg.Done()
-	for {
-		conn, err := n.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		n.wg.Add(1)
-		go n.readLoop(conn)
-	}
-}
-
-// readLoop consumes frames from one connection; the first frame identifies
-// the peer (a hello with From set and nil payload counts too).
-func (n *Node) readLoop(conn net.Conn) {
-	defer n.wg.Done()
-	defer conn.Close()
-	for {
-		f, err := Decode(conn)
-		if err != nil {
-			return
-		}
-		select {
-		case n.inbox <- f:
-		case <-n.done:
-			return
-		}
-	}
-}
-
-// connectPeers dials every lower-id peer (higher ids dial us), retrying
-// until the timeout.
-func (n *Node) connectPeers() error {
-	deadline := time.Now().Add(n.cfg.DialTimeout)
-	for p := 0; p < len(n.cfg.Addrs); p++ {
-		if async.PID(p) == n.cfg.Self {
-			continue
-		}
-		var conn net.Conn
-		var err error
-		for {
-			conn, err = net.DialTimeout("tcp", n.cfg.Addrs[p], time.Second)
-			if err == nil || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		if err != nil {
-			return fmt.Errorf("wire: dial peer %d (%s): %w", p, n.cfg.Addrs[p], err)
-		}
-		n.mu.Lock()
-		n.conns[async.PID(p)] = conn
-		n.mu.Unlock()
-	}
-	return nil
-}
-
-// send transmits a payload to a peer (loopback for self).
+// send transmits a payload to a peer through the transport's per-peer
+// write queue (loopback for self). Unlike the pre-cluster mesh, writes
+// to distinct peers never contend on a shared mutex, and a temporarily
+// disconnected peer buffers rather than silently dropping.
 func (n *Node) send(to async.PID, payload any) {
 	n.sent.Add(1)
-	f := frame{From: n.cfg.Self, To: to, Payload: payload}
-	if to == n.cfg.Self {
-		select {
-		case n.inbox <- f:
-		case <-n.done:
-		}
-		return
+	var buf bytes.Buffer
+	if err := Encode(&buf, frame{From: n.cfg.Self, To: to, Payload: payload}); err != nil {
+		return // unencodable payload: a bug caught by the gob round-trip tests
 	}
-	n.mu.Lock()
-	conn := n.conns[to]
-	n.mu.Unlock()
-	if conn == nil {
-		return // unknown or disconnected peer: asynchronous loss-free model
-		// does not hold over real networks; higher layers tolerate silence.
-	}
-	// Serialize writes per connection.
-	n.mu.Lock()
-	err := Encode(conn, f)
-	n.mu.Unlock()
-	if err != nil {
-		return
-	}
+	n.tr.Send(int(to), buf.Bytes())
 }
 
-// Run forms the mesh, starts the process, and pumps messages until the
-// process halts, the context times out, or Stop is called. It returns the
-// decided move (if any).
+// Run starts the process and pumps transport frames until the process
+// halts, the timeout elapses, or Stop is called. It returns the decided
+// move (if any). Mesh formation is asynchronous: links dial (and redial)
+// in the background, so Run does not block on peers that bind late.
+//
+// Run does NOT tear the transport down when its own process halts: the
+// resend buffers may still hold frames a slower peer needs (the
+// asynchronous model's honest players relay until everyone is done), so
+// the node keeps replaying — and discarding inbound frames — until the
+// caller invokes Stop after every node of the play has returned.
 func (n *Node) Run(timeout time.Duration) (move any, decided bool, err error) {
-	if n.ln == nil {
+	if n.tr == nil {
 		return nil, false, fmt.Errorf("wire: Run before Listen")
-	}
-	if err := n.connectPeers(); err != nil {
-		return nil, false, err
 	}
 	env := n.remote.Env()
 	n.cfg.Proc.Start(env)
@@ -361,13 +360,21 @@ func (n *Node) Run(timeout time.Duration) (move any, decided bool, err error) {
 	seq := 0
 	for !n.remote.Halted() {
 		select {
-		case f := <-n.inbox:
-			msg := async.Message{From: f.From, To: n.cfg.Self, Seq: seq, Payload: f.Payload}
+		case cf := <-n.tr.Inbox():
+			f, derr := Decode(bytes.NewReader(cf.Payload))
+			if derr != nil {
+				continue // skip an undecodable frame rather than kill the play
+			}
+			// The sender identity is the transport's, not the gob frame's:
+			// the HELLO handshake (and mTLS) authenticated the stream, so a
+			// peer cannot forge another player's From by lying in the
+			// payload envelope.
+			msg := async.Message{From: async.PID(cf.From), To: n.cfg.Self, Seq: seq, Payload: f.Payload}
 			seq++
 			n.delivered.Add(1)
 			n.cfg.Proc.Deliver(env, msg)
 		case <-deadline:
-			n.Stop()
+			go n.drainInbox()
 			mv, ok := n.remote.Move()
 			return mv, ok, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 		case <-n.done:
@@ -375,25 +382,37 @@ func (n *Node) Run(timeout time.Duration) (move any, decided bool, err error) {
 			return mv, ok, nil
 		}
 	}
-	n.Stop()
+	go n.drainInbox()
 	mv, ok := n.remote.Move()
 	return mv, ok, nil
+}
+
+// drainInbox discards inbound frames after the local process finished,
+// so peers still mid-play are never backpressured into a stall. It exits
+// when Stop closes the node.
+func (n *Node) drainInbox() {
+	for {
+		select {
+		case <-n.tr.Inbox():
+		case <-n.done:
+			return
+		}
+	}
 }
 
 // Stop tears the node down.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
 		close(n.done)
-		if n.ln != nil {
-			n.ln.Close()
+		if n.tr != nil {
+			n.tr.Close()
 		}
-		n.mu.Lock()
-		for _, c := range n.conns {
-			c.Close()
-		}
-		n.mu.Unlock()
 	})
 }
 
-// Wait blocks until all connection goroutines finished (after Stop).
-func (n *Node) Wait() { n.wg.Wait() }
+// Wait blocks until all transport goroutines finished (after Stop).
+func (n *Node) Wait() {
+	if n.tr != nil {
+		n.tr.Close() // idempotent; waits for goroutines
+	}
+}

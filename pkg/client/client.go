@@ -11,6 +11,8 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -108,7 +110,9 @@ type Client struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	idPrefix    string
+	nonce       string
 	reqSeq      atomic.Int64
+	idemSeq     atomic.Int64
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -122,6 +126,8 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
 	}
+	var nonce [6]byte
+	_, _ = rand.Read(nonce[:])
 	c := &Client{
 		base:        u,
 		hc:          &http.Client{},
@@ -129,6 +135,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		backoffBase: 100 * time.Millisecond,
 		backoffMax:  2 * time.Second,
 		idPrefix:    "ctl",
+		nonce:       hex.EncodeToString(nonce[:]),
 	}
 	for _, o := range opts {
 		o(c)
@@ -150,21 +157,23 @@ func (c *Client) endpoint(path string, query url.Values) string {
 	return u.String()
 }
 
-// retryable reports whether err is worth retrying for the given method:
-// the server's transient codes always are; transport-level failures only
-// for idempotent requests (a connect refusal on POST may have mutated
-// nothing, but the client cannot know).
-func retryable(method string, err error) bool {
+// retryable reports whether err is worth retrying: the server's
+// transient codes always are; transport-level failures for GETs and for
+// POSTs that carried an Idempotency-Key (the server caches the first
+// completed response under the key, so a retried create either executes
+// once or replays — never doubles).
+func retryable(method string, idemKey string, err error) bool {
 	var ae *Error
 	if errors.As(err, &ae) {
 		return ae.Err.Code.Retryable()
 	}
-	return method == http.MethodGet
+	return method == http.MethodGet || idemKey != ""
 }
 
 // do performs one JSON round trip with retry/backoff: body (when
 // non-nil) is marshaled per attempt, out (when non-nil) receives the
-// decoded 2xx response.
+// decoded 2xx response. Every POST is stamped with a fresh
+// Idempotency-Key that stays fixed across its retries.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -173,10 +182,14 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	idemKey := ""
+	if method == http.MethodPost {
+		idemKey = c.nextIdempotencyKey()
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.once(ctx, method, path, query, payload, out)
-		if lastErr == nil || attempt >= c.retries || !retryable(method, lastErr) {
+		lastErr = c.once(ctx, method, path, query, payload, idemKey, out)
+		if lastErr == nil || attempt >= c.retries || !retryable(method, idemKey, lastErr) {
 			return lastErr
 		}
 		if err := c.sleep(ctx, attempt); err != nil {
@@ -202,7 +215,7 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 }
 
 // once is a single request/response exchange.
-func (c *Client) once(ctx context.Context, method, path string, query url.Values, payload []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, query url.Values, payload []byte, idemKey string, out any) error {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
@@ -213,6 +226,9 @@ func (c *Client) once(ctx context.Context, method, path string, query url.Values
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set(api.IdempotencyKeyHeader, idemKey)
 	}
 	req.Header.Set(api.RequestIDHeader, c.nextRequestID())
 	resp, err := c.hc.Do(req)
@@ -236,6 +252,12 @@ func (c *Client) once(ctx context.Context, method, path string, query url.Values
 // nextRequestID mints a client-side request id.
 func (c *Client) nextRequestID() string {
 	return fmt.Sprintf("%s-%06d", c.idPrefix, c.reqSeq.Add(1))
+}
+
+// nextIdempotencyKey mints a key unique across client instances (the
+// per-client random nonce) and calls (the sequence).
+func (c *Client) nextIdempotencyKey() string {
+	return fmt.Sprintf("%s-%s-%06d", c.idPrefix, c.nonce, c.idemSeq.Add(1))
 }
 
 // decodeError turns a non-2xx response into *Error. A body that is not

@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -12,10 +12,11 @@ import (
 
 	"asyncmediator/api"
 	"asyncmediator/internal/service"
+	"asyncmediator/pkg/client"
 )
 
 // farmClient boots a real farm behind httptest and a Client on it.
-func farmClient(t *testing.T, cfg service.Config) (*service.Service, *Client) {
+func farmClient(t *testing.T, cfg service.Config) (*service.Service, *client.Client) {
 	t.Helper()
 	svc, err := service.New(cfg)
 	if err != nil {
@@ -26,7 +27,7 @@ func farmClient(t *testing.T, cfg service.Config) (*service.Service, *Client) {
 		ts.Close()
 		svc.Close()
 	})
-	c, err := New(ts.URL, WithHTTPClient(ts.Client()))
+	c, err := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,30 +90,30 @@ func TestClientSentinelErrors(t *testing.T) {
 	_, c := farmClient(t, service.Config{Workers: 1})
 	ctx := context.Background()
 
-	if _, err := c.GetSession(ctx, "s-424242"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.GetSession(ctx, "s-424242"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("unknown session: %v", err)
 	}
-	if _, err := c.CreateSession(ctx, api.SessionSpec{Game: "poker"}); !errors.Is(err, ErrInvalidArgument) {
+	if _, err := c.CreateSession(ctx, api.SessionSpec{Game: "poker"}); !errors.Is(err, client.ErrInvalidArgument) {
 		t.Fatalf("bad spec: %v", err)
 	}
 	h, err := c.CreateSession(ctx, api.SessionSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.SubmitTypes(ctx, h.ID, []int{0}); !errors.Is(err, ErrInvalidArgument) {
+	if _, err := c.SubmitTypes(ctx, h.ID, []int{0}); !errors.Is(err, client.ErrInvalidArgument) {
 		t.Fatalf("short types: %v", err)
 	}
 	if _, err := c.SubmitTypes(ctx, h.ID, make([]int, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.SubmitTypes(ctx, h.ID, make([]int, 5)); !errors.Is(err, ErrConflict) {
+	if _, err := c.SubmitTypes(ctx, h.ID, make([]int, 5)); !errors.Is(err, client.ErrConflict) {
 		t.Fatalf("double submit: %v", err)
 	}
-	if _, err := c.GetJob(ctx, "x-424242"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.GetJob(ctx, "x-424242"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("unknown job: %v", err)
 	}
 	// The structured error carries the server's code and message.
-	var ae *Error
+	var ae *client.Error
 	_, err = c.GetSession(ctx, "s-424242")
 	if !errors.As(err, &ae) || ae.Err.Code != api.CodeNotFound || ae.Status != http.StatusNotFound {
 		t.Fatalf("structured error: %v", err)
@@ -143,7 +144,7 @@ func TestClientRetryBackoff(t *testing.T) {
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 
-	c, err := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	c, err := client.New(ts.URL, client.WithRetries(3), client.WithBackoff(time.Millisecond, 5*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestClientRetryBackoff(t *testing.T) {
 		t.Fatalf("handle %+v after %d posts", h, posts.Load())
 	}
 	// A conflict is never retried.
-	if _, err := c.SubmitTypes(context.Background(), h.ID, []int{0}); !errors.Is(err, ErrConflict) {
+	if _, err := c.SubmitTypes(context.Background(), h.ID, []int{0}); !errors.Is(err, client.ErrConflict) {
 		t.Fatalf("conflict: %v", err)
 	}
 	if conflicts.Load() != 1 {
@@ -177,11 +178,11 @@ func TestClientErrorFallback(t *testing.T) {
 		http.Error(w, "plain text not found", http.StatusNotFound)
 	}))
 	t.Cleanup(ts.Close)
-	c, err := New(ts.URL, WithRetries(0))
+	c, err := client.New(ts.URL, client.WithRetries(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GetSession(context.Background(), "s-1"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.GetSession(context.Background(), "s-1"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("fallback mapping: %v", err)
 	}
 }
@@ -198,7 +199,7 @@ func TestClientPaginationWalk(t *testing.T) {
 		}
 	}
 	var walked []string
-	err := c.EachSession(ctx, ListSessionsOptions{State: "done", Limit: 3}, func(v api.SessionView) error {
+	err := c.EachSession(ctx, client.ListSessionsOptions{State: "done", Limit: 3}, func(v api.SessionView) error {
 		walked = append(walked, v.ID)
 		return nil
 	})
@@ -226,7 +227,7 @@ func TestClientEventStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stream, err := c.StreamEvents(ctx, StreamOptions{Session: h.ID})
+	stream, err := c.StreamEvents(ctx, client.StreamOptions{Session: h.ID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,14 +276,14 @@ func TestClientExperiments(t *testing.T) {
 		t.Fatalf("catalog %+v", cat)
 	}
 	seed := int64(5)
-	tab, err := c.RunExperiment(ctx, "e8", RunOptions{Trials: 2, Seed: &seed})
+	tab, err := c.RunExperiment(ctx, "e8", client.RunOptions{Trials: 2, Seed: &seed})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tab.ID != "e8" || len(tab.Rows) == 0 {
 		t.Fatalf("table %+v", tab)
 	}
-	if _, err := c.RunExperiment(ctx, "e99", RunOptions{}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.RunExperiment(ctx, "e99", client.RunOptions{}); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("unknown experiment: %v", err)
 	}
 
@@ -293,7 +294,7 @@ func TestClientExperiments(t *testing.T) {
 	if jv.State != api.StateDone || jv.Table == nil || jv.Table.ID != "e8" {
 		t.Fatalf("job view %+v", jv)
 	}
-	if _, err := c.CreateJob(ctx, api.ExperimentRequest{Experiment: "e99"}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.CreateJob(ctx, api.ExperimentRequest{Experiment: "e99"}); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("unknown job experiment: %v", err)
 	}
 }
@@ -304,7 +305,7 @@ func TestClientStreamEOFOnShutdown(t *testing.T) {
 	svc, c := farmClient(t, service.Config{Workers: 1})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	stream, err := c.StreamEvents(ctx, StreamOptions{})
+	stream, err := c.StreamEvents(ctx, client.StreamOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,5 +318,105 @@ func TestClientStreamEOFOnShutdown(t *testing.T) {
 			}
 			return
 		}
+	}
+}
+
+// TestClientIdempotentPOSTRetry: a POST whose first attempt dies at the
+// transport layer (connection severed before any response) is retried —
+// safe because every SDK POST carries an Idempotency-Key — and the same
+// key arrives on every attempt, so the server executes at most once.
+func TestClientIdempotentPOSTRetry(t *testing.T) {
+	var keys []string
+	var attempts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get(api.IdempotencyKeyHeader))
+		if attempts.Add(1) == 1 {
+			// Sever the connection mid-request: the client sees a
+			// transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"id":"s-000042","state":"awaiting-types","seed":9}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c, err := client.New(ts.URL, client.WithRetries(2), client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.CreateSession(context.Background(), api.SessionSpec{})
+	if err != nil {
+		t.Fatalf("create after transport failure: %v", err)
+	}
+	if h.ID != "s-000042" || attempts.Load() != 2 {
+		t.Fatalf("handle %+v after %d attempts", h, attempts.Load())
+	}
+	if len(keys) != 2 || keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("idempotency keys across attempts: %q", keys)
+	}
+}
+
+// TestClientClusterCalls drives the daemon-to-daemon surface through
+// the SDK against two real farms: join answers addresses, start runs
+// the co-hosted players, and an unknown cluster id maps to ErrNotFound.
+func TestClientClusterCalls(t *testing.T) {
+	_, peerC := farmClient(t, service.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := peerC.ClusterStart(ctx, api.ClusterStartRequest{ClusterID: "c-nope", Addrs: make([]string, 4)}); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("start of unknown cluster: %v", err)
+	}
+	join := api.ClusterJoinRequest{
+		ClusterID: "c-sdk",
+		Spec:      api.SessionSpec{Game: "consensus", N: 4, K: 1, Variant: "4.2"},
+		Types:     []int{0, 0, 0, 0},
+		Players:   []int{0, 1, 2, 3}, // the peer hosts the whole play
+		Seed:      3,
+	}
+	resp, err := peerC.ClusterJoin(ctx, join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range resp.Addrs {
+		if a == "" {
+			t.Fatalf("player %d unbound: %v", i, resp.Addrs)
+		}
+	}
+	if _, err := peerC.ClusterJoin(ctx, join); !errors.Is(err, client.ErrConflict) {
+		t.Fatalf("double join: %v", err)
+	}
+	start, err := peerC.ClusterStart(ctx, api.ClusterStartRequest{ClusterID: "c-sdk", Addrs: resp.Addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(start.Results) != 4 {
+		t.Fatalf("results %+v", start.Results)
+	}
+	for _, r := range start.Results {
+		if r.Error != "" || r.TimedOut || len(r.Move) == 0 {
+			t.Fatalf("player %d result %+v", r.Index, r)
+		}
+	}
+	// The play lingers (resend buffers stay live) until finish releases
+	// it; a second finish is a successful no-op.
+	fin, err := peerC.ClusterFinish(ctx, api.ClusterFinishRequest{ClusterID: "c-sdk"})
+	if err != nil || !fin.Released {
+		t.Fatalf("finish: %+v %v", fin, err)
+	}
+	fin, err = peerC.ClusterFinish(ctx, api.ClusterFinishRequest{ClusterID: "c-sdk"})
+	if err != nil || fin.Released {
+		t.Fatalf("double finish: %+v %v", fin, err)
 	}
 }
