@@ -42,6 +42,11 @@ type ClusterJoinRequest struct {
 	Players []int `json:"players"`
 	// Seed anchors the play's determinism: player i derives seed+i.
 	Seed int64 `json:"seed"`
+	// TraceID is the coordinator's trace id for the play; the daemon's
+	// local spans are recorded under it and travel back in the start
+	// response, so the coordinator stitches one cross-process timeline.
+	// Empty when the coordinator runs without tracing.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ClusterJoinResponse acknowledges a join: the transport addresses of
@@ -82,6 +87,10 @@ type ClusterPlayerResult struct {
 type ClusterStartResponse struct {
 	ClusterID string                `json:"cluster_id"`
 	Results   []ClusterPlayerResult `json:"results"`
+	// Trace carries this daemon's spans for the play (recorded under the
+	// join's trace id); the coordinator merges them into the session's
+	// stitched trace. Omitted when the join carried no trace id.
+	Trace *TraceView `json:"trace,omitempty"`
 }
 
 // ClusterFinishRequest is the body of POST /v1/cluster/finish: the

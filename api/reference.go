@@ -28,6 +28,7 @@ func Routes() []Route {
 		{Method: "GET", Path: "/sessions", Summary: "page the session collection across memory and store", Query: "state, offset, limit"},
 		{Method: "GET", Path: "/sessions/{id}", Summary: "session snapshot; ?wait= long-polls until terminal", Query: "wait"},
 		{Method: "POST", Path: "/sessions/{id}/types", Summary: "submit the realized type profile and queue the play (body: TypesRequest)"},
+		{Method: "GET", Path: "/sessions/{id}/trace", Summary: "the terminal play's stitched trace: per-phase spans across every co-hosting daemon (TraceView)"},
 		{Method: "GET", Path: "/events", Summary: "server-sent event stream of state transitions", Query: "session, kind"},
 		{Method: "GET", Path: "/experiments", Summary: "catalog of the paper's experiments (e1..e8)"},
 		{Method: "GET", Path: "/experiments/{name}", Summary: "run a catalog experiment synchronously in the request, returning its Table", Query: "trials, seed, maxsteps"},

@@ -61,6 +61,9 @@ type SessionView struct {
 	// DurationSeconds is the wall time the play ran (terminal states only).
 	DurationSeconds float64 `json:"duration_seconds,omitempty"`
 	Error           string  `json:"error,omitempty"`
+	// Trace is the play's stitched trace (terminal states only; also
+	// served alone at GET /v1/sessions/{id}/trace). List pages omit it.
+	Trace *TraceView `json:"trace,omitempty"`
 }
 
 // SessionPage is the body of GET /v1/sessions: one window of the

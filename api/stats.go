@@ -64,4 +64,58 @@ type Stats struct {
 	// ClusterPlaysHosted counts plays this daemon co-hosted for a remote
 	// coordinator (cluster mode joins that reached start).
 	ClusterPlaysHosted int64 `json:"cluster_plays_hosted,omitempty"`
+	// Cluster aggregates the cluster transport's link counters across
+	// live and finished plays (nil when the daemon never clustered).
+	Cluster *ClusterLinkStats `json:"cluster,omitempty"`
+	// Pool is the worker pool's instantaneous load summary.
+	Pool *PoolStats `json:"pool,omitempty"`
+	// Store summarizes the durable store (nil on a memory-only farm).
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// ClusterLinkStats aggregates the cluster transport's per-link counters
+// (every live node's links plus totals retired when nodes closed).
+type ClusterLinkStats struct {
+	Sent       int64 `json:"sent"`
+	Delivered  int64 `json:"delivered"`
+	Resent     int64 `json:"resent"`
+	Duplicates int64 `json:"duplicates"`
+	// Redials counts reconnects after an established link dropped.
+	Redials    int64 `json:"redials"`
+	DialErrors int64 `json:"dial_errors"`
+	Acks       int64 `json:"acks"`
+	Rejected   int64 `json:"rejected"`
+	FramesIn   int64 `json:"frames_in"`
+	FramesOut  int64 `json:"frames_out"`
+	BytesIn    int64 `json:"bytes_in"`
+	BytesOut   int64 `json:"bytes_out"`
+	// QueueLen and ResendBuffered are instantaneous depths summed over
+	// live links (unsent frames queued; sent frames awaiting ack).
+	QueueLen       int `json:"queue_len"`
+	ResendBuffered int `json:"resend_buffered"`
+}
+
+// PoolStats is the worker pool's load summary.
+type PoolStats struct {
+	Workers       int   `json:"workers"`
+	ActiveWorkers int   `json:"active_workers"`
+	QueueLen      int   `json:"queue_len"`
+	Completed     int64 `json:"jobs_completed"`
+	// Shed counts TrySubmit rejections (queue full).
+	Shed int64 `json:"jobs_shed"`
+	// QueueWaitSeconds is the cumulative time jobs spent queued before a
+	// worker picked them up.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+}
+
+// StoreStats summarizes the durable store.
+type StoreStats struct {
+	// WALAppends counts records appended to the write-ahead log.
+	WALAppends int64 `json:"wal_appends"`
+	// Compactions counts snapshot rewrites.
+	Compactions int64 `json:"compactions"`
+	// Keys is the live record count.
+	Keys int `json:"keys"`
+	// ReplaySeconds is how long the last open spent recovering state.
+	ReplaySeconds float64 `json:"replay_seconds"`
 }

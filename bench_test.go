@@ -197,19 +197,24 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		name    string
 		spec    service.Spec
 		persist bool
+		notrace bool
 	}{
 		// The default serving configuration: Theorem 4.1's n > 4t with
 		// k=0, t=1 (the asynchronous service-free regime).
-		{"default-n=5,t=1", service.Spec{}, false},
-		{"default-n=5,t=1-persist", service.Spec{}, true},
+		{"default-n=5,t=1", service.Spec{}, false, false},
+		{"default-n=5,t=1-persist", service.Spec{}, true, false},
+		// The untraced baseline: same workload with per-play trace
+		// collection off. The acceptance line is tracing overhead <= 5%
+		// sessions/sec against the traced default case.
+		{"default-n=5,t=1-notrace", service.Spec{}, false, true},
 		// The cheapest hosted play: Theorem 4.2 at its bound n=4.
-		{"epsilon-n=4,k=1", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, false},
-		{"epsilon-n=4,k=1-persist", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, true},
+		{"epsilon-n=4,k=1", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, false, false},
+		{"epsilon-n=4,k=1-persist", service.Spec{N: 4, K: 1, T: 0, Variant: "4.2"}, true, false},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
-			cfg := service.BenchConfig{Sessions: b.N, Spec: c.spec}
+			cfg := service.BenchConfig{Sessions: b.N, Spec: c.spec, DisableTracing: c.notrace}
 			if c.persist {
 				cfg.DataDir = b.TempDir()
 				cfg.MaxLiveSessions = 256

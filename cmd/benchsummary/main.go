@@ -6,11 +6,18 @@
 // eyeballed.
 //
 //	go test -bench . -benchtime 1x -run '^$' ./... | benchsummary > BENCH_ci.json
+//
+// With -diff SEED.json it also compares the farm-throughput benchmarks
+// (BenchmarkServiceThroughput, metric sessions/sec) against a committed
+// seed summary and warns on stderr when a case regressed more than 20%.
+// The diff never fails the run — single-shot CI benchmarks are too noisy
+// to gate on — it makes the regression visible in the job log.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -89,11 +96,60 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// throughputPrefix selects the benchmarks the -diff mode compares, and
+// throughputMetric is the unit it compares on.
+const (
+	throughputPrefix = "BenchmarkServiceThroughput"
+	throughputMetric = "sessions/sec"
+	regressionFrac   = 0.20
+)
+
+// diffThroughput compares cur's farm-throughput results against the
+// seed summary and writes one warning line per case that regressed more
+// than regressionFrac. Cases missing on either side are skipped — the
+// seed predates them or the run filtered them out.
+func diffThroughput(w io.Writer, seed, cur *Summary) {
+	base := map[string]float64{}
+	for _, b := range seed.Benchmarks {
+		if strings.HasPrefix(b.Name, throughputPrefix) {
+			if v, ok := b.Metrics[throughputMetric]; ok && v > 0 {
+				base[b.Name] = v
+			}
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		want, ok := base[b.Name]
+		if !ok {
+			continue
+		}
+		got := b.Metrics[throughputMetric]
+		if got < want*(1-regressionFrac) {
+			fmt.Fprintf(w, "benchsummary: WARNING: %s regressed: %.1f %s vs seed %.1f (-%.0f%%, threshold %.0f%%)\n",
+				b.Name, got, throughputMetric, want, 100*(1-got/want), 100*regressionFrac)
+		}
+	}
+}
+
 func main() {
+	diff := flag.String("diff", "", "seed summary JSON to compare farm throughput against (warn-only)")
+	flag.Parse()
 	s, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsummary:", err)
 		os.Exit(1)
+	}
+	if *diff != "" {
+		raw, err := os.ReadFile(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
+			os.Exit(1)
+		}
+		var seed Summary
+		if err := json.Unmarshal(raw, &seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsummary: parsing %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+		diffThroughput(os.Stderr, &seed, s)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

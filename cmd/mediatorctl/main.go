@@ -14,19 +14,25 @@
 //	session list     page sessions (-state -offset -limit; -all walks pages)
 //	session types    submit a type profile: session types s-000001 0,0,0,0,0
 //	session watch    follow one session to its terminal snapshot
+//	session trace    render a terminal play's stitched trace: compact
+//	                 per-phase timeline across daemons plus a slowest-phase
+//	                 summary (-json for the raw TraceView)
 //	experiment list  the catalog (e1..e8)
 //	experiment run   run an experiment: async job by default (-no-wait to
 //	                 just print the job handle), -sync for in-request
 //	experiment get   one job snapshot (-wait long-polls to terminal)
 //	stats            farm-wide aggregate statistics
+//	obs              fleet observability summary: cluster link counters,
+//	                 worker-pool load, durable-store health
 //	events tail      stream state transitions (-session -kind) as JSON lines
 //	cluster drop     sever live cluster transport conns (daemon runs -chaos)
 //	ready            readiness probe (exit 1 when not ready)
 //	apidoc           print the generated /v1 API reference (markdown)
 //
-// Every command prints JSON on stdout, so output composes with jq. The
-// daemon address can also come from the MEDIATORD_ADDR environment
-// variable; the flag wins.
+// Every command prints JSON on stdout (session trace renders a text
+// timeline unless given -json), so output composes with jq. The daemon
+// address can also come from the MEDIATORD_ADDR environment variable;
+// the flag wins.
 package main
 
 import (
@@ -38,9 +44,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"asyncmediator/api"
@@ -105,8 +113,8 @@ var errUsage = errors.New("usage")
 
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
-	fmt.Fprintln(w, "commands: session create|get|list|types|watch, experiment list|run|get,")
-	fmt.Fprintln(w, "          stats, events tail, cluster drop, ready, apidoc")
+	fmt.Fprintln(w, "commands: session create|get|list|types|watch|trace, experiment list|run|get,")
+	fmt.Fprintln(w, "          stats, obs, events tail, cluster drop, ready, apidoc")
 	fmt.Fprintln(w, "flags:")
 	fs.PrintDefaults()
 }
@@ -120,7 +128,7 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 	switch args[0] {
 	case "session":
 		if len(args) < 2 {
-			return bad("session needs a verb: create|get|list|types|watch")
+			return bad("session needs a verb: create|get|list|types|watch|trace")
 		}
 		switch args[1] {
 		case "create":
@@ -133,6 +141,8 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 			return sessionTypes(ctx, c, args[2:], stdout, stderr)
 		case "watch":
 			return sessionWatch(ctx, c, args[2:], stdout, stderr)
+		case "trace":
+			return sessionTrace(ctx, c, args[2:], stdout, stderr)
 		default:
 			return bad("unknown session verb %q", args[1])
 		}
@@ -160,6 +170,8 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 			return err
 		}
 		return printJSON(stdout, st)
+	case "obs":
+		return obsSummary(ctx, c, stdout)
 	case "events":
 		if len(args) < 2 || args[1] != "tail" {
 			return bad("events needs the tail verb")
@@ -346,6 +358,181 @@ func sessionWatch(ctx context.Context, c *client.Client, args []string, stdout, 
 		return err
 	}
 	return printJSON(stdout, v)
+}
+
+func sessionTrace(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	raw := fs.Bool("json", false, "print the raw TraceView instead of the rendered timeline")
+	pos, err := parseMixed(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		fmt.Fprintln(stderr, "mediatorctl: session trace needs exactly one session id")
+		return errUsage
+	}
+	v, err := c.GetSessionTrace(ctx, pos[0])
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return printJSON(stdout, v)
+	}
+	renderTrace(stdout, v)
+	return nil
+}
+
+// traceBarWidth is the character width of the rendered timeline bars.
+const traceBarWidth = 28
+
+// renderTrace prints a TraceView as a compact human timeline: one row
+// per span with a proportional bar over the play's full window, then
+// a slowest-phase summary aggregated across origins.
+func renderTrace(w io.Writer, v api.TraceView) {
+	origins := map[string]bool{}
+	var lo, hi int64
+	for i, s := range v.Spans {
+		origins[s.Origin] = true
+		if i == 0 || s.StartUS < lo {
+			lo = s.StartUS
+		}
+		if end := spanEnd(s); end > hi {
+			hi = end
+		}
+	}
+	fmt.Fprintf(w, "trace %s: %d spans, %d origin(s), window %s\n",
+		v.TraceID, len(v.Spans), len(origins), fmtUS(hi-lo))
+	if v.Dropped > 0 {
+		fmt.Fprintf(w, "warning: %d span(s) dropped by the bounded trace buffer\n", v.Dropped)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ORIGIN\tPHASE\tSTART\tDUR\tCOUNT\tTIMELINE\tATTRS")
+	for _, s := range v.Spans {
+		fmt.Fprintf(tw, "%s\t%s\t+%s\t%s\t%d\t%s\t%s\n",
+			s.Origin, s.Name, fmtUS(s.StartUS-lo), fmtUS(spanEnd(s)-s.StartUS),
+			s.Count, traceBar(s, lo, hi), fmtAttrs(s.Attrs))
+	}
+	tw.Flush()
+
+	// Slowest phases: total span time by name, across origins.
+	type phase struct {
+		name  string
+		total int64
+		spans int
+	}
+	byName := map[string]*phase{}
+	for _, s := range v.Spans {
+		p := byName[s.Name]
+		if p == nil {
+			p = &phase{name: s.Name}
+			byName[s.Name] = p
+		}
+		p.total += spanEnd(s) - s.StartUS
+		p.spans++
+	}
+	phases := make([]*phase, 0, len(byName))
+	for _, p := range byName {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool {
+		if phases[i].total != phases[j].total {
+			return phases[i].total > phases[j].total
+		}
+		return phases[i].name < phases[j].name
+	})
+	fmt.Fprintln(w, "slowest phases:")
+	for i, p := range phases {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, "  %-12s %10s  (%d span(s))\n", p.name, fmtUS(p.total), p.spans)
+	}
+}
+
+// spanEnd is the span's end offset; an end-less span (still open when
+// snapshotted, or a pure counter) renders as zero-width at its start.
+func spanEnd(s api.TraceSpan) int64 {
+	if s.EndUS < s.StartUS {
+		return s.StartUS
+	}
+	return s.EndUS
+}
+
+// traceBar renders a span's position within [lo,hi] as a fixed-width
+// bar: '#' over the span's extent, '.' elsewhere.
+func traceBar(s api.TraceSpan, lo, hi int64) string {
+	cells := make([]byte, traceBarWidth)
+	for i := range cells {
+		cells[i] = '.'
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	from := int(int64(traceBarWidth) * (s.StartUS - lo) / span)
+	to := int(int64(traceBarWidth) * (spanEnd(s) - lo) / span)
+	if from >= traceBarWidth {
+		from = traceBarWidth - 1
+	}
+	if to >= traceBarWidth {
+		to = traceBarWidth - 1
+	}
+	for i := from; i <= to; i++ {
+		cells[i] = '#'
+	}
+	return string(cells)
+}
+
+// fmtUS renders a microsecond offset as a human duration.
+func fmtUS(us int64) string {
+	return (time.Duration(us) * time.Microsecond).String()
+}
+
+// fmtAttrs renders span attributes as sorted k=v pairs.
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + attrs[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// obsSummary prints the fleet-observability slice of /v1/stats: the
+// cluster link counters, worker-pool load, and durable-store health
+// that the full stats dump buries under play statistics.
+func obsSummary(ctx context.Context, c *client.Client, stdout io.Writer) error {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(stdout, struct {
+		UptimeSeconds      float64               `json:"uptime_seconds"`
+		SessionsLive       int                   `json:"sessions_live"`
+		QueueDepth         int                   `json:"queue_depth"`
+		ShedIntervals      int64                 `json:"shed_intervals,omitempty"`
+		ClusterPlaysHosted int64                 `json:"cluster_plays_hosted,omitempty"`
+		Cluster            *api.ClusterLinkStats `json:"cluster,omitempty"`
+		Pool               *api.PoolStats        `json:"pool,omitempty"`
+		Store              *api.StoreStats       `json:"store,omitempty"`
+	}{
+		UptimeSeconds:      st.UptimeSeconds,
+		SessionsLive:       st.SessionsLive,
+		QueueDepth:         st.QueueDepth,
+		ShedIntervals:      st.ShedIntervals,
+		ClusterPlaysHosted: st.ClusterPlaysHosted,
+		Cluster:            st.Cluster,
+		Pool:               st.Pool,
+		Store:              st.Store,
+	})
 }
 
 func experimentRun(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {

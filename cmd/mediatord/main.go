@@ -28,8 +28,15 @@
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"e1","trials":50}'
 //	curl -s 'localhost:8080/v1/jobs/x-000001?wait=30s'     # poll the async job
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/sessions/s-000001/trace      # stitched play trace
 //	curl -s localhost:8080/metrics                         # Prometheus text format
 //	curl -s localhost:8080/readyz                          # LB readiness gate
+//
+// Profiling: -pprof-listen binds net/http/pprof on its own listener so
+// profiles never share the public API address:
+//
+//	mediatord -addr :8080 -pprof-listen 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // Cluster mode: several daemons co-host one play, each running only its
 // local players over the hardened transport (reconnect + resend,
@@ -58,6 +65,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -89,6 +97,8 @@ func run(args []string) error {
 	tlsCA := fs.String("tls-ca", "", "PEM CA bundle both sides of every cluster connection verify against")
 	readyWatermark := fs.Int("ready-watermark", 0, "queue depth at or above which GET /readyz sheds load with 503 (0: disabled)")
 	chaos := fs.Bool("chaos", false, "mount POST /v1/cluster/drop, the fault-injection hook severing live cluster connections (testing only)")
+	pprofListen := fs.String("pprof-listen", "", "bind net/http/pprof on this separate address (empty: disabled; keep it off public interfaces)")
+	noTrace := fs.Bool("no-trace", false, "disable per-play trace collection (GET /v1/sessions/{id}/trace answers 404)")
 	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
 	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
 	benchN := fs.Int("bench-n", 5, "benchmark players per session")
@@ -100,11 +110,29 @@ func run(args []string) error {
 		return err
 	}
 
+	if *pprofListen != "" {
+		// Explicit handlers on a private mux: importing net/http/pprof for
+		// its handler funcs must not leak /debug/pprof onto any other mux.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("mediatord: pprof listening on %s", *pprofListen)
+			if err := http.ListenAndServe(*pprofListen, pm); err != nil {
+				log.Printf("mediatord: pprof listener failed: %v", err)
+			}
+		}()
+	}
+
 	if *bench > 0 {
 		cfg := service.BenchConfig{
-			Sessions: *bench,
-			Workers:  *workers,
-			BaseSeed: *seed,
+			Sessions:       *bench,
+			Workers:        *workers,
+			BaseSeed:       *seed,
+			DisableTracing: *noTrace,
 			Spec: service.Spec{
 				Game: *benchGame, N: *benchN, K: *benchK, T: *benchT,
 				Variant: *benchVariant, Backend: *benchBackend,
@@ -132,6 +160,7 @@ func run(args []string) error {
 		TLSCA:           *tlsCA,
 		ReadyWatermark:  *readyWatermark,
 		EnableChaos:     *chaos,
+		DisableTracing:  *noTrace,
 	}
 	if !*quiet {
 		cfg.RequestLog = log.Printf

@@ -179,6 +179,10 @@ type View struct {
 // Scheduler is the environment strategy. Next returns the next event; ok =
 // false ends the run (legal for relaxed schedulers, or when no deliverable
 // messages remain).
+//
+// The view and its slices are valid only for the duration of the call:
+// the runtime reuses their backing storage between steps. A scheduler
+// that needs state across steps must copy what it keeps.
 type Scheduler interface {
 	Next(v *View) (ev Event, ok bool)
 }
@@ -276,6 +280,7 @@ type Runtime struct {
 	sentNow []MsgMeta
 	dropped map[BatchKey]bool
 	touched map[BatchKey]bool // batches with at least one delivered message
+	scratch View              // per-step scheduler view, backing storage reused (see Scheduler)
 }
 
 // New creates a Runtime. It returns an error for malformed configs.
@@ -366,19 +371,25 @@ func meta(m Message) MsgMeta {
 	return MsgMeta{ID: m.ID, From: m.From, To: m.To, Seq: m.Seq, Batch: m.Batch}
 }
 
+// view refreshes the runtime's scratch View. The backing storage is
+// reused across steps — the dominant allocation of a run otherwise —
+// which is safe because schedulers may not retain the view (see the
+// Scheduler contract).
 func (rt *Runtime) view() *View {
-	v := &View{
-		N:       len(rt.procs),
-		Players: rt.cfg.Players,
-		Pending: make([]MsgMeta, 0, len(rt.pending)),
-		Started: append([]bool(nil), rt.started...),
-		Halted:  append([]bool(nil), rt.halted...),
-		Decided: make([]bool, len(rt.procs)),
-		Steps:   rt.steps,
-	}
+	v := &rt.scratch
+	v.N = len(rt.procs)
+	v.Players = rt.cfg.Players
+	v.Steps = rt.steps
+	v.Pending = v.Pending[:0]
 	for _, m := range rt.pending {
 		v.Pending = append(v.Pending, meta(m))
 	}
+	v.Started = append(v.Started[:0], rt.started...)
+	v.Halted = append(v.Halted[:0], rt.halted...)
+	if cap(v.Decided) < len(rt.procs) {
+		v.Decided = make([]bool, len(rt.procs))
+	}
+	v.Decided = v.Decided[:len(rt.procs)]
 	for p := range rt.procs {
 		_, v.Decided[p] = rt.moves[PID(p)]
 	}

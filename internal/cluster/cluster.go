@@ -60,6 +60,10 @@ type Config struct {
 	QueueDepth int
 	// InboxDepth bounds the delivery channel (default 4096).
 	InboxDepth int
+	// TraceID, when set, is announced in every outbound HELLO so the
+	// play's distributed trace is visible at the transport layer; peers
+	// that predate the field ignore it.
+	TraceID string
 }
 
 func (c *Config) normalize() error {
@@ -106,6 +110,21 @@ type Stats struct {
 	Rejected int64
 	// ConnsDropped counts connections severed by DropConns (chaos).
 	ConnsDropped int64
+	// Acks counts cumulative-ack frames this node received on its
+	// outbound links.
+	Acks int64
+	// FramesIn/FramesOut and BytesIn/BytesOut count steady-state traffic
+	// (DATA and ACK frames, header included; handshakes excluded).
+	FramesIn  int64
+	FramesOut int64
+	BytesIn   int64
+	BytesOut  int64
+	// QueueLen is the instantaneous sum of unsent payloads across the
+	// per-peer outbound queues.
+	QueueLen int
+	// ResendBuffered is the instantaneous sum of sent-but-unacknowledged
+	// frames held for replay across links.
+	ResendBuffered int
 }
 
 // inbound is the receive state of one directed stream (peer -> self):
@@ -135,6 +154,12 @@ type Transport struct {
 
 	sent, resent, delivered, duplicates       atomic.Int64
 	reconnects, dialErrs, rejected, chaosDrop atomic.Int64
+	acks, framesIn, framesOut                 atomic.Int64
+	bytesIn, bytesOut                         atomic.Int64
+
+	// peerTraceID remembers the last trace id announced by an inbound
+	// HELLO (string; empty until a tracing peer connects).
+	peerTraceID atomic.Value
 }
 
 // New binds the listen address and starts accepting. Peer addresses may
@@ -230,7 +255,7 @@ func (t *Transport) Inbox() <-chan Frame { return t.inbox }
 
 // Stats snapshots the traffic counters; safe from any goroutine.
 func (t *Transport) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Sent:         t.sent.Load(),
 		Resent:       t.resent.Load(),
 		Delivered:    t.delivered.Load(),
@@ -239,7 +264,30 @@ func (t *Transport) Stats() Stats {
 		DialErrors:   t.dialErrs.Load(),
 		Rejected:     t.rejected.Load(),
 		ConnsDropped: t.chaosDrop.Load(),
+		Acks:         t.acks.Load(),
+		FramesIn:     t.framesIn.Load(),
+		FramesOut:    t.framesOut.Load(),
+		BytesIn:      t.bytesIn.Load(),
+		BytesOut:     t.bytesOut.Load(),
 	}
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		q, buf := l.depths()
+		s.QueueLen += q
+		s.ResendBuffered += buf
+	}
+	return s
+}
+
+// PeerTraceID returns the trace id most recently announced by an inbound
+// handshake ("" until a tracing peer connects).
+func (t *Transport) PeerTraceID() string {
+	if v, ok := t.peerTraceID.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // DropConns severs every live connection — the chaos hook behind
@@ -351,6 +399,9 @@ func (t *Transport) serveInbound(conn net.Conn) {
 		_ = writeReject(conn, reason)
 		return
 	}
+	if h.TraceID != "" {
+		t.peerTraceID.Store(h.TraceID)
+	}
 	_ = conn.SetReadDeadline(time.Time{})
 
 	st := t.in[h.From]
@@ -370,6 +421,8 @@ func (t *Transport) serveInbound(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.framesIn.Add(1)
+		t.bytesIn.Add(int64(5 + len(body)))
 		if kind != kindData {
 			continue // tolerate unknown-but-framed kinds from newer peers
 		}
@@ -403,6 +456,8 @@ func (t *Transport) serveInbound(conn net.Conn) {
 		if err := writeAck(conn, ack); err != nil {
 			return
 		}
+		t.framesOut.Add(1)
+		t.bytesOut.Add(5 + 8)
 	}
 }
 

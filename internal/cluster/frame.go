@@ -37,12 +37,16 @@ type Frame struct {
 
 // hello is the first frame of every connection: it names the protocol
 // version, the cluster session the dialer believes it is part of, and the
-// directed stream (from -> to) this connection will carry.
+// directed stream (from -> to) this connection will carry. TraceID is an
+// optional observability tail (the play's trace id) appended after the
+// fixed fields; version-1 parsers that predate it already tolerated
+// trailing bytes, so carrying it needs no protocol-version bump.
 type hello struct {
 	Version   uint16
 	ClusterID string
 	From      int
 	To        int
+	TraceID   string
 }
 
 // writeRaw emits one length-prefixed frame: kind byte plus body.
@@ -79,17 +83,21 @@ func readRaw(r io.Reader) (byte, []byte, error) {
 // writeHello frames the handshake's opening.
 func writeHello(w io.Writer, h hello) error {
 	id := []byte(h.ClusterID)
-	body := make([]byte, 2+4+len(id)+4+4)
+	tid := []byte(h.TraceID)
+	body := make([]byte, 2+4+len(id)+4+4+2+len(tid))
 	binary.BigEndian.PutUint16(body[0:2], h.Version)
 	binary.BigEndian.PutUint32(body[2:6], uint32(len(id)))
 	copy(body[6:], id)
 	off := 6 + len(id)
 	binary.BigEndian.PutUint32(body[off:off+4], uint32(int32(h.From)))
 	binary.BigEndian.PutUint32(body[off+4:off+8], uint32(int32(h.To)))
+	binary.BigEndian.PutUint16(body[off+8:off+10], uint16(len(tid)))
+	copy(body[off+10:], tid)
 	return writeRaw(w, kindHello, body)
 }
 
-// parseHello decodes a HELLO body.
+// parseHello decodes a HELLO body. The trace-id tail is optional: frames
+// from peers predating it simply end after the To field.
 func parseHello(body []byte) (hello, error) {
 	if len(body) < 2+4 {
 		return hello{}, fmt.Errorf("cluster: short hello (%d bytes)", len(body))
@@ -103,6 +111,11 @@ func parseHello(body []byte) (hello, error) {
 	off := 6 + idLen
 	h.From = int(int32(binary.BigEndian.Uint32(body[off : off+4])))
 	h.To = int(int32(binary.BigEndian.Uint32(body[off+4 : off+8])))
+	if rest := body[off+8:]; len(rest) >= 2 {
+		if n := int(binary.BigEndian.Uint16(rest[0:2])); len(rest) >= 2+n {
+			h.TraceID = string(rest[2 : 2+n])
+		}
+	}
 	return h, nil
 }
 

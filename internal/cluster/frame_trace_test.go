@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestHelloTraceIDRoundTrip covers the observability tail: the play's
+// trace id written by writeHello comes back intact from parseHello.
+func TestHelloTraceIDRoundTrip(t *testing.T) {
+	in := hello{Version: ProtocolVersion, ClusterID: "c-000042", From: 1, To: 3, TraceID: "9f86d081deadbeef"}
+	var buf bytes.Buffer
+	if err := writeHello(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := readRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != kindHello {
+		t.Fatalf("frame kind %d, want %d", kind, kindHello)
+	}
+	h, err := parseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != in {
+		t.Fatalf("round trip %+v, want %+v", h, in)
+	}
+}
+
+// TestHelloEmptyTraceID round-trips the no-trace case (tracing disabled
+// on the coordinator): a zero-length tail, not an absent one.
+func TestHelloEmptyTraceID(t *testing.T) {
+	in := hello{Version: ProtocolVersion, ClusterID: "c-1", From: 0, To: 2}
+	var buf bytes.Buffer
+	if err := writeHello(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := readRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := parseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TraceID != "" {
+		t.Fatalf("trace id %q, want empty", h.TraceID)
+	}
+}
+
+// TestHelloWithoutTraceTailParses pins backward compatibility: a HELLO
+// body from a daemon generation predating the trace tail — it ends
+// right after the To field — still parses, with an empty trace id. This
+// is why carrying the tail needed no protocol-version bump.
+func TestHelloWithoutTraceTailParses(t *testing.T) {
+	id := []byte("c-legacy")
+	body := make([]byte, 2+4+len(id)+4+4)
+	binary.BigEndian.PutUint16(body[0:2], ProtocolVersion)
+	binary.BigEndian.PutUint32(body[2:6], uint32(len(id)))
+	copy(body[6:], id)
+	off := 6 + len(id)
+	binary.BigEndian.PutUint32(body[off:off+4], uint32(2))
+	binary.BigEndian.PutUint32(body[off+4:off+8], uint32(3))
+
+	h, err := parseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hello{Version: ProtocolVersion, ClusterID: "c-legacy", From: 2, To: 3}
+	if h != want {
+		t.Fatalf("legacy hello parsed as %+v, want %+v", h, want)
+	}
+}
+
+// TestHelloTruncatedTraceTailIgnored: a tail whose declared length
+// exceeds the remaining bytes is ignored rather than rejected — the
+// fixed fields still carry the handshake.
+func TestHelloTruncatedTraceTailIgnored(t *testing.T) {
+	id := []byte("c-1")
+	body := make([]byte, 2+4+len(id)+4+4+2+1)
+	binary.BigEndian.PutUint16(body[0:2], ProtocolVersion)
+	binary.BigEndian.PutUint32(body[2:6], uint32(len(id)))
+	copy(body[6:], id)
+	off := 6 + len(id)
+	binary.BigEndian.PutUint32(body[off:off+4], uint32(0))
+	binary.BigEndian.PutUint32(body[off+4:off+8], uint32(1))
+	binary.BigEndian.PutUint16(body[off+8:off+10], 500) // claims 500 bytes, has 1
+	h, err := parseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TraceID != "" {
+		t.Fatalf("truncated tail produced trace id %q", h.TraceID)
+	}
+	if h.ClusterID != "c-1" || h.From != 0 || h.To != 1 {
+		t.Fatalf("fixed fields corrupted: %+v", h)
+	}
+}

@@ -131,6 +131,7 @@ func (l *link) connect() (net.Conn, uint64, error) {
 		ClusterID: l.t.cfg.ClusterID,
 		From:      l.t.cfg.Self,
 		To:        l.to,
+		TraceID:   l.t.cfg.TraceID,
 	})
 	if err != nil {
 		conn.Close()
@@ -168,9 +169,12 @@ func (l *link) serve(conn net.Conn, cursor uint64) {
 			if err != nil {
 				return
 			}
+			l.t.framesIn.Add(1)
+			l.t.bytesIn.Add(int64(5 + len(body)))
 			if kind != kindAck {
 				continue
 			}
+			l.t.acks.Add(1)
 			if n, err := parseU64(body); err == nil {
 				l.ackTo(n)
 			}
@@ -185,6 +189,8 @@ func (l *link) serve(conn net.Conn, cursor uint64) {
 			return
 		}
 		l.t.resent.Add(1)
+		l.t.framesOut.Add(1)
+		l.t.bytesOut.Add(int64(5 + 8 + len(f.payload)))
 	}
 
 	for {
@@ -198,12 +204,22 @@ func (l *link) serve(conn net.Conn, cursor uint64) {
 			if err := writeData(conn, f.seq, f.payload); err != nil {
 				return // frame stays buffered; the redial replays it
 			}
+			l.t.framesOut.Add(1)
+			l.t.bytesOut.Add(int64(5 + 8 + len(f.payload)))
 		case <-broken:
 			return
 		case <-l.t.done:
 			return
 		}
 	}
+}
+
+// depths reports the link's instantaneous queue and resend-buffer sizes.
+func (l *link) depths() (queued, buffered int) {
+	l.mu.Lock()
+	buffered = len(l.buf)
+	l.mu.Unlock()
+	return len(l.queue), buffered
 }
 
 // ackTo drops every buffered frame the cumulative ack n covers.

@@ -79,5 +79,10 @@ func BuildProcs(cfg RunConfig) ([]async.Process, error) {
 		}
 		procs[i] = pl
 	}
+	if cfg.Wrap != nil {
+		for i, proc := range procs {
+			procs[i] = cfg.Wrap(i, proc)
+		}
+	}
 	return procs, nil
 }

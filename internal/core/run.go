@@ -20,6 +20,12 @@ type RunConfig struct {
 	Override map[int]async.Process
 	// MaxSteps guards against livelock; defaults to the runtime's default.
 	MaxSteps int
+	// Trace, when set, receives the runtime's per-step trace entries
+	// (async.Config.Trace).
+	Trace func(async.TraceEntry)
+	// Wrap, when set, decorates every compiled player process (including
+	// Override entries) — the hosting layer's seam for observability.
+	Wrap func(p int, proc async.Process) async.Process
 }
 
 // Run plays the cheap-talk game once and returns the resolved action
@@ -40,6 +46,7 @@ func Run(cfg RunConfig) (game.Profile, *async.Result, error) {
 		Scheduler: sched,
 		Seed:      cfg.Seed,
 		MaxSteps:  cfg.MaxSteps,
+		Trace:     cfg.Trace,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// CPUTime is unavailable off unix; the CPU-delta sampler degrades to
+// zero rather than gating the build on a platform API.
+func CPUTime() time.Duration { return 0 }

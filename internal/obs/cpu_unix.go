@@ -1,0 +1,19 @@
+//go:build unix
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// CPUTime returns the process's cumulative CPU time (user + system).
+// Sampled before and after a play, the delta is the play's approximate
+// CPU cost — approximate because concurrent plays share the process.
+func CPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

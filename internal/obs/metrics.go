@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Updates are one atomic
+// add; reads happen only at scrape time.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error and ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is a linear
+// scan over the bounds plus two atomics — no locks.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound, plus +Inf
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// metric is one registered series.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // pull-time value (wins over counter/gauge)
+}
+
+// Registry is an ordered set of named metrics rendered in Prometheus
+// text format. Registration takes the registry lock; metric updates
+// touch only the metric's own atomics.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register adds m unless the name is taken, returning the winner.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[m.name]; ok {
+		return prev
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[m.name] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter `name`.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&metric{name: name, help: help, typ: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge `name`.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(&metric{name: name, help: help, typ: "gauge", gauge: &Gauge{}})
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) histogram `name` with
+// the given upper bounds (sorted ascending).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	m := r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return m.hist
+}
+
+// CounterFunc registers a counter whose value is pulled at scrape time
+// (for totals owned by another subsystem's own atomics).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is pulled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// WritePrometheus renders every metric in registration order in the
+// Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		switch {
+		case m.fn != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		case m.counter != nil:
+			fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case m.hist != nil:
+			cum := int64(0)
+			for i, b := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", m.name, formatFloat(b), cum)
+			}
+			cum += m.hist.counts[len(m.hist.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(m.hist.sum.Value()))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, m.hist.count.Load())
+		}
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients expect.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeriveTraceIDStable(t *testing.T) {
+	a := DeriveTraceID("s-000001", "42")
+	b := DeriveTraceID("s-000001", "42")
+	if a != b {
+		t.Fatalf("trace id not stable: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("trace id %q not 16 hex chars", a)
+	}
+	if DeriveTraceID("s-000002", "42") == a {
+		t.Fatal("distinct sessions share a trace id")
+	}
+	// The separator matters: ("ab","c") and ("a","bc") must differ.
+	if DeriveTraceID("ab", "c") == DeriveTraceID("a", "bc") {
+		t.Fatal("part boundaries not separated")
+	}
+}
+
+func TestPlayTraceObserveAggregates(t *testing.T) {
+	tr := NewPlayTrace("t1", 0)
+	tr.Observe("rbc", "local")
+	tr.Observe("rbc", "local")
+	tr.Observe("ba", "local")
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["rbc"].Count != 2 || byName["ba"].Count != 1 {
+		t.Fatalf("counts wrong: %+v", byName)
+	}
+	if byName["rbc"].EndUS < byName["rbc"].StartUS {
+		t.Fatalf("span ends before it starts: %+v", byName["rbc"])
+	}
+}
+
+func TestPlayTraceBound(t *testing.T) {
+	tr := NewPlayTrace("t2", 3)
+	tr.Observe("a", "x")
+	tr.Observe("b", "x")
+	tr.Observe("c", "x")
+	tr.Observe("d", "x") // over the bound: dropped
+	tr.Observe("a", "x") // existing span: still counted
+	if got := len(tr.Snapshot()); got != 3 {
+		t.Fatalf("bound leaked: %d spans", got)
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	// Merge respects the same bound.
+	tr.Merge([]Span{{Name: "e"}, {Name: "f"}})
+	if got := len(tr.Snapshot()); got != 3 {
+		t.Fatalf("merge leaked past the bound: %d spans", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestPlayTraceBeginAndAnnotate(t *testing.T) {
+	tr := NewPlayTrace("t3", 0)
+	end := tr.Begin("run", "local")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Annotate("run", "local", "cpu_ms", "1.5")
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans %+v", spans)
+	}
+	s := spans[0]
+	if s.Duration() <= 0 {
+		t.Fatalf("run span has no extent: %+v", s)
+	}
+	if s.Attrs["cpu_ms"] != "1.5" {
+		t.Fatalf("attrs %+v", s.Attrs)
+	}
+}
+
+func TestPlayTraceMergeStitches(t *testing.T) {
+	tr := NewPlayTrace("t4", 0)
+	tr.Observe("rbc", "local")
+	tr.Merge([]Span{{Name: "rbc", Origin: "http://peer", StartUS: 5, EndUS: 9, Count: 3}})
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("spans %+v", spans)
+	}
+	origins := map[string]bool{}
+	for _, s := range spans {
+		origins[s.Origin] = true
+	}
+	if !origins["local"] || !origins["http://peer"] {
+		t.Fatalf("origins %+v", origins)
+	}
+}
+
+func TestNilPlayTraceIsSafe(t *testing.T) {
+	var tr *PlayTrace
+	tr.Observe("a", "b")
+	tr.Begin("a", "b")()
+	tr.Annotate("a", "b", "k", "v")
+	tr.Merge([]Span{{Name: "x"}})
+	if tr.ID() != "" || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+}
+
+func TestPlayTraceConcurrent(t *testing.T) {
+	tr := NewPlayTrace("t5", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe("phase", "local")
+			}
+		}()
+	}
+	wg.Wait()
+	spans := tr.Snapshot()
+	if len(spans) != 1 || spans[0].Count != 4000 {
+		t.Fatalf("spans %+v", spans)
+	}
+}
+
+func TestRegistryPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(2.5)
+	r.GaugeFunc("test_pull", "Pulled.", func() float64 { return 7 })
+	h := r.Histogram("test_wait_seconds", "Wait.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		"test_ops_total 4",
+		"# TYPE test_depth gauge",
+		"test_depth 2.5",
+		"test_pull 7",
+		`test_wait_seconds_bucket{le="0.1"} 1`,
+		`test_wait_seconds_bucket{le="1"} 2`,
+		`test_wait_seconds_bucket{le="+Inf"} 3`,
+		"test_wait_seconds_sum 5.55",
+		"test_wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicateNamesCoalesce(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "a")
+	b := r.Counter("dup_total", "b")
+	if a != b {
+		t.Fatal("duplicate registration minted a second counter")
+	}
+	a.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if strings.Count(sb.String(), "# TYPE dup_total") != 1 {
+		t.Fatalf("duplicate series rendered:\n%s", sb.String())
+	}
+}
+
+func TestCPUTimeMonotone(t *testing.T) {
+	a := CPUTime()
+	// Burn a little CPU so the second sample can move.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	b := CPUTime()
+	if b < a {
+		t.Fatalf("CPU time went backwards: %v -> %v", a, b)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull signals saturation on a non-blocking submit; callers
@@ -27,17 +29,56 @@ var ErrClosed = errors.New("pool: closed")
 // executing it, in [0, Workers()).
 type Job func(worker int)
 
+// queued is one enqueued job plus its submission time, so the pool can
+// account for how long work sat behind the workers.
+type queued struct {
+	j   Job
+	enq time.Time
+}
+
 // Pool is a bounded worker pool.
 type Pool struct {
-	jobs    chan Job
+	jobs    chan queued
 	workers int
 	wg      sync.WaitGroup
+
+	active     atomic.Int64 // workers currently inside a job
+	completed  atomic.Int64 // jobs finished
+	shed       atomic.Int64 // TrySubmit rejections on a full queue
+	waitMicros atomic.Int64 // cumulative queue wait, microseconds
 
 	// mu is a reader/writer guard on the closed flag: submitters hold the
 	// read side across their channel send so Close (the writer) cannot
 	// close the job channel underneath an in-flight send.
 	mu     sync.RWMutex
 	closed bool
+}
+
+// Stats is a snapshot of the pool's load counters.
+type Stats struct {
+	// Workers is the fixed worker count; Active is how many are inside a
+	// job right now; QueueLen is the jobs waiting behind them.
+	Workers  int
+	Active   int
+	QueueLen int
+	// Completed counts finished jobs; Shed counts TrySubmit rejections.
+	Completed int64
+	Shed      int64
+	// QueueWait is the cumulative time jobs spent queued before a worker
+	// picked them up.
+	QueueWait time.Duration
+}
+
+// Stats snapshots the pool's counters; safe from any goroutine.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:   p.workers,
+		Active:    int(p.active.Load()),
+		QueueLen:  len(p.jobs),
+		Completed: p.completed.Load(),
+		Shed:      p.shed.Load(),
+		QueueWait: time.Duration(p.waitMicros.Load()) * time.Microsecond,
+	}
 }
 
 // New starts `workers` goroutines with a queue of depth `queue`.
@@ -49,14 +90,18 @@ func New(workers, queue int) *Pool {
 	if queue < 1 {
 		queue = 1
 	}
-	p := &Pool{jobs: make(chan Job, queue), workers: workers}
+	p := &Pool{jobs: make(chan queued, queue), workers: workers}
 	for w := 0; w < workers; w++ {
 		w := w
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for j := range p.jobs {
-				j(w)
+			for q := range p.jobs {
+				p.waitMicros.Add(time.Since(q.enq).Microseconds())
+				p.active.Add(1)
+				q.j(w)
+				p.active.Add(-1)
+				p.completed.Add(1)
 			}
 		}()
 	}
@@ -80,9 +125,10 @@ func (p *Pool) TrySubmit(j Job) error {
 		return ErrClosed
 	}
 	select {
-	case p.jobs <- j:
+	case p.jobs <- queued{j: j, enq: time.Now()}:
 		return nil
 	default:
+		p.shed.Add(1)
 		return fmt.Errorf("%w (%d jobs pending)", ErrQueueFull, cap(p.jobs))
 	}
 }
@@ -95,7 +141,7 @@ func (p *Pool) Submit(j Job) error {
 	if p.closed {
 		return ErrClosed
 	}
-	p.jobs <- j
+	p.jobs <- queued{j: j, enq: time.Now()}
 	return nil
 }
 

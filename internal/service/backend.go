@@ -15,13 +15,25 @@ import (
 
 // runSim plays one session on the deterministic in-process runtime.
 func runSim(s *Session, types []game.Type) (game.Profile, *async.Result, error) {
-	return core.Run(core.RunConfig{
+	tr := s.tracer()
+	collect := newCollector(tr)
+	prof, res, err := core.Run(core.RunConfig{
 		Params:    s.params,
 		Types:     types,
 		Scheduler: newScheduler(s.Spec.Scheduler, s.seed),
 		Seed:      s.seed,
 		MaxSteps:  s.Spec.MaxSteps,
+		Wrap:      collect.wrap(),
 	})
+	collect.flush()
+	// The scheduler lane is folded in once after the run rather than via
+	// a per-step core.RunConfig.Trace hook: a non-nil hook makes the
+	// runtime materialize a TraceEntry (with message metadata copies)
+	// every step, which costs far more than the lane is worth.
+	if res != nil {
+		tr.ObserveN("sched", originLocal, int64(res.Stats.Steps))
+	}
+	return prof, res, err
 }
 
 // runWire plays one session as a real distributed system: the compiled
@@ -31,7 +43,8 @@ func runSim(s *Session, types []game.Type) (game.Profile, *async.Result, error) 
 // each node's local game state, then resolved exactly like a simulated
 // play.
 func runWire(s *Session, types []game.Type, timeout time.Duration) (game.Profile, *async.Result, error) {
-	procs, err := core.BuildProcs(core.RunConfig{Params: s.params, Types: types})
+	collect := newCollector(s.tracer())
+	procs, err := core.BuildProcs(core.RunConfig{Params: s.params, Types: types, Wrap: collect.wrap()})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -55,6 +68,7 @@ func runWire(s *Session, types []game.Type, timeout time.Duration) (game.Profile
 		node.Stop()
 		node.Wait()
 	}
+	collect.flush()
 	// A timeout is the wire analogue of deadlock: the player resolves
 	// through its will, like any undecided player. Any other node error
 	// (dial failure, listener trouble) is a transport fault that fails

@@ -26,6 +26,10 @@ type BenchConfig struct {
 	DataDir string
 	// MaxLiveSessions bounds the measured farm's in-memory cache.
 	MaxLiveSessions int
+	// DisableTracing measures the farm without per-play trace collection —
+	// the untraced baseline the tracing-overhead acceptance line (<=5%)
+	// compares against.
+	DisableTracing bool
 }
 
 // BenchResult is the measured throughput.
@@ -55,6 +59,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 		BaseSeed:        cfg.BaseSeed,
 		DataDir:         cfg.DataDir,
 		MaxLiveSessions: cfg.MaxLiveSessions,
+		DisableTracing:  cfg.DisableTracing,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"asyncmediator/internal/core"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/obs"
 	"asyncmediator/internal/wire"
 	"asyncmediator/pkg/client"
 )
@@ -37,6 +38,12 @@ type clusterPlay struct {
 	players []int
 	nodes   map[int]*wire.Node
 	started bool
+	// trace collects this daemon's per-phase spans under the
+	// coordinator's trace id; the start response ships it back so the
+	// coordinator can stitch one cross-daemon timeline. collect owns the
+	// per-process buffers feeding it, flushed when the start call ends.
+	trace   *obs.PlayTrace
+	collect *playCollector
 	// lingering marks a play whose local players finished but whose
 	// transports stay alive (resend buffers replaying to slower daemons)
 	// until the coordinator's finish call or the linger timer releases
@@ -73,8 +80,12 @@ func (s *Service) registerClusterNode(n *wire.Node) {
 }
 
 func (s *Service) unregisterClusterNode(n *wire.Node) {
+	st := n.Stats().Transport
 	s.clusterMu.Lock()
 	delete(s.clusterNodes, n)
+	// Fold the departing node's monotonic counters into the retired
+	// accumulator so fleet totals never regress as plays come and go.
+	addClusterCounters(&s.clusterRetired, st)
 	s.clusterMu.Unlock()
 }
 
@@ -154,7 +165,14 @@ func (s *Service) ClusterJoin(req api.ClusterJoinRequest) (api.ClusterJoinRespon
 		}
 		seen[p] = true
 	}
-	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types})
+	// Adopt the coordinator's trace id: spans recorded here ride the start
+	// response back and stitch into the coordinator's timeline.
+	var tr *obs.PlayTrace
+	if req.TraceID != "" && !s.cfg.DisableTracing {
+		tr = obs.NewPlayTrace(obs.TraceID(req.TraceID), 0)
+	}
+	collect := newCollector(tr)
+	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types, Wrap: collect.wrap()})
 	if err != nil {
 		return api.ClusterJoinResponse{}, err
 	}
@@ -165,6 +183,8 @@ func (s *Service) ClusterJoin(req api.ClusterJoinRequest) (api.ClusterJoinRespon
 		types:   types,
 		players: append([]int(nil), req.Players...),
 		nodes:   make(map[int]*wire.Node, len(req.Players)),
+		trace:   tr,
+		collect: collect,
 	}
 	abort := func() {
 		for _, nd := range play.nodes {
@@ -183,6 +203,7 @@ func (s *Service) ClusterJoin(req api.ClusterJoinRequest) (api.ClusterJoinRespon
 			TLS:           s.clusterTLS,
 			Proc:          procs[p],
 			Seed:          req.Seed + int64(p),
+			TraceID:       req.TraceID,
 		})
 		if err == nil {
 			err = node.Listen()
@@ -287,6 +308,11 @@ func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartRes
 	s.clusterMu.Unlock()
 
 	results := runClusterNodes(play.nodes, req.Addrs, s.clusterTimeout())
+	// Fold the per-process phase buffers into the trace before it ships
+	// back. The transports linger past this point (relay contract), so
+	// late deliveries can still tick the buffers — harmless: they are
+	// relay traffic and the buffers' atomics keep the overlap race-free.
+	play.collect.flush()
 
 	// The local players finished, but their transports must stay alive:
 	// the resend buffers may still hold frames a slower daemon's players
@@ -299,7 +325,7 @@ func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartRes
 	play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
 	s.clusterMu.Unlock()
 	s.clusterHosted.Add(1)
-	return api.ClusterStartResponse{ClusterID: req.ClusterID, Results: results}, nil
+	return api.ClusterStartResponse{ClusterID: req.ClusterID, Results: results, Trace: traceView(play.trace)}, nil
 }
 
 // runClusterNodes runs a set of local nodes against a complete address
@@ -400,7 +426,13 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 			remote[p] = true
 		}
 	}
-	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types})
+	tr := sess.tracer()
+	traceID := ""
+	if tr != nil {
+		traceID = string(tr.ID())
+	}
+	collect := newCollector(tr)
+	procs, err := core.BuildProcs(core.RunConfig{Params: params, Types: types, Wrap: collect.wrap()})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -428,6 +460,7 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 			TLS:           s.clusterTLS,
 			Proc:          procs[p],
 			Seed:          sess.Seed() + int64(p),
+			TraceID:       traceID,
 		})
 		if err == nil {
 			err = node.Listen()
@@ -469,6 +502,7 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 			Types:     intTypes(types),
 			Players:   byAddr[addr],
 			Seed:      sess.Seed(),
+			TraceID:   traceID,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("service: cluster join %s: %w", addr, err)
@@ -502,6 +536,11 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 		}()
 	}
 	localResults := runClusterNodes(local, addrs, timeout)
+	// The coordinator's own players are done; fold their phase buffers in
+	// before peer spans stitch on top. The local transports stay up (the
+	// deferred stop) to relay for slower daemons — late deliveries after
+	// this flush are uncounted relay traffic.
+	collect.flush()
 
 	res := &async.Result{
 		Moves:  make(map[async.PID]any, n),
@@ -552,6 +591,9 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 			}
 			continue
 		}
+		// Stitch the peer's spans into the coordinator's timeline, rewriting
+		// their origin to the peer's address.
+		tr.Merge(obsSpans(r.resp.Trace, r.addr))
 		if err := fold(r.addr, r.resp.Results); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -87,6 +87,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.idempotent(s.handleSessionCreate))
 	mux.HandleFunc("GET "+api.Prefix+"/sessions", s.handleSessionList)
 	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}/trace", s.handleSessionTrace)
 	mux.HandleFunc("POST "+api.Prefix+"/sessions/{id}/types", s.idempotent(s.handleTypesSubmit))
 	mux.HandleFunc("GET "+api.Prefix+"/events", s.serveEvents)
 	mux.HandleFunc("GET "+api.Prefix+"/experiments", s.handleCatalog)
@@ -115,7 +116,7 @@ func (s *Service) Handler() http.Handler {
 	// Unversioned infrastructure: scrape and probe endpoints stay where
 	// fleet tooling expects them.
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeMetrics(w, s.Stats())
+		s.writeMetrics(w, s.Stats())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
@@ -217,6 +218,11 @@ func (s *Service) handleSessionList(w http.ResponseWriter, r *http.Request) {
 		limit = api.MaxPageLimit
 	}
 	total, page := s.ListSessions(state, offset, limit)
+	// List pages stay lean: the trace is served by the per-session
+	// endpoints, not repeated across a collection.
+	for i := range page {
+		page[i].Trace = nil
+	}
 	writeJSON(w, http.StatusOK, api.SessionPage{
 		PageInfo: api.NewPageInfo(total, offset, limit, len(page)),
 		Sessions: page,
@@ -245,6 +251,28 @@ func (s *Service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeAPIError(w, api.Errorf(api.CodeNotFound, "no such session %s", id))
+}
+
+// handleSessionTrace answers GET /v1/sessions/{id}/trace: the terminal
+// play's stitched trace alone. Pre-terminal sessions and plays traced
+// with tracing disabled answer not_found — the trace exists only once
+// the play finished.
+func (s *Service) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var view View
+	if sess, ok := s.Session(id); ok {
+		view = sess.Snapshot()
+	} else if v, ok := s.Lookup(id); ok {
+		view = v
+	} else {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "no such session %s", id))
+		return
+	}
+	if view.Trace == nil {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "session %s has no trace (not terminal, or tracing disabled)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, view.Trace)
 }
 
 // handleTypesSubmit answers POST /v1/sessions/{id}/types.

@@ -256,7 +256,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		if strings.Contains(body, "mediatord_sessions_completed_total 3") &&
 			strings.Contains(body, `mediatord_session_duration_seconds_bucket{variant="4.2",le="+Inf"} 3`) &&
 			strings.Contains(body, `mediatord_session_duration_seconds_count{variant="4.2"} 3`) &&
-			strings.Contains(body, "mediatord_workers 2") {
+			strings.Contains(body, "mediatord_workers 2") &&
+			// The fleet-observability registry: cluster link, worker pool,
+			// and durable-store series are present (zero on an idle,
+			// memory-only farm) with the expected names.
+			strings.Contains(body, "mediatord_cluster_link_redials_total 0") &&
+			strings.Contains(body, "mediatord_cluster_link_resends_total 0") &&
+			strings.Contains(body, "mediatord_pool_jobs_completed_total 3") &&
+			strings.Contains(body, "mediatord_pool_workers 2") &&
+			strings.Contains(body, "mediatord_store_wal_appends_total 0") {
 			return
 		}
 		if time.Now().After(deadline) {

@@ -9,9 +9,10 @@ import (
 
 // writeMetrics renders the farm's aggregate state in the Prometheus text
 // exposition format — hand-rolled (no client library dependency): counters
-// and gauges from StatsView, and one proper histogram per theorem variant
-// for session durations (cumulative le buckets, _sum, _count).
-func writeMetrics(w http.ResponseWriter, sv StatsView) {
+// and gauges from StatsView, one proper histogram per theorem variant for
+// session durations (cumulative le buckets, _sum, _count), and the obs
+// registry's subsystem series (cluster links, worker pool, store).
+func (s *Service) writeMetrics(w http.ResponseWriter, sv StatsView) {
 	var sb strings.Builder
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -58,6 +59,10 @@ func writeMetrics(w http.ResponseWriter, sv StatsView) {
 			fmt.Fprintf(&sb, "%s_sum{variant=%q} %s\n", name, variant, fmtFloat(ds.Sum))
 			fmt.Fprintf(&sb, "%s_count{variant=%q} %d\n", name, variant, ds.Count)
 		}
+	}
+
+	if s.obsReg != nil {
+		s.obsReg.WritePrometheus(&sb)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"asyncmediator/api"
+	"asyncmediator/internal/cluster"
+	"asyncmediator/internal/pool"
+	"asyncmediator/internal/store"
+	"asyncmediator/internal/wire"
+)
+
+// This file is the farm's fleet-metrics glue: it folds the subsystem
+// counters (cluster transport links, worker pool, durable store) into the
+// api.Stats DTOs and registers the same series on the obs registry, so
+// /v1/stats and the Prometheus exposition read one source of truth.
+
+// addClusterCounters folds a transport snapshot's monotonic counters into
+// dst. The instantaneous depths (QueueLen, ResendBuffered) are excluded:
+// they only make sense summed over live links, never accumulated.
+func addClusterCounters(dst *api.ClusterLinkStats, st cluster.Stats) {
+	dst.Sent += st.Sent
+	dst.Delivered += st.Delivered
+	dst.Resent += st.Resent
+	dst.Duplicates += st.Duplicates
+	dst.Redials += st.Reconnects
+	dst.DialErrors += st.DialErrors
+	dst.Acks += st.Acks
+	dst.Rejected += st.Rejected
+	dst.FramesIn += st.FramesIn
+	dst.FramesOut += st.FramesOut
+	dst.BytesIn += st.BytesIn
+	dst.BytesOut += st.BytesOut
+}
+
+// clusterLinkStats sums the cluster transport counters across every
+// retired and live node; depths come from live links only.
+func (s *Service) clusterLinkStats() api.ClusterLinkStats {
+	s.clusterMu.Lock()
+	out := s.clusterRetired
+	nodes := make([]*wire.Node, 0, len(s.clusterNodes))
+	for n := range s.clusterNodes {
+		nodes = append(nodes, n)
+	}
+	s.clusterMu.Unlock()
+	for _, n := range nodes {
+		st := n.Stats().Transport
+		addClusterCounters(&out, st)
+		out.QueueLen += st.QueueLen
+		out.ResendBuffered += st.ResendBuffered
+	}
+	return out
+}
+
+// poolStats converts a pool snapshot to its wire shape.
+func poolStats(p *pool.Pool) api.PoolStats {
+	st := p.Stats()
+	return api.PoolStats{
+		Workers:          st.Workers,
+		ActiveWorkers:    st.Active,
+		QueueLen:         st.QueueLen,
+		Completed:        st.Completed,
+		Shed:             st.Shed,
+		QueueWaitSeconds: st.QueueWait.Seconds(),
+	}
+}
+
+// storeStats converts a store snapshot to its wire shape.
+func storeStats(st *store.Store) api.StoreStats {
+	m := st.Metrics()
+	return api.StoreStats{
+		WALAppends:    m.WALAppends,
+		Compactions:   m.Compactions,
+		Keys:          m.Keys,
+		ReplaySeconds: m.ReplayTime.Seconds(),
+	}
+}
+
+// registerObsMetrics registers the fleet series on the farm's metric
+// registry. Every series is pull-time: the scrape reads the subsystems'
+// own atomics, so instrumentation costs nothing between scrapes.
+func (s *Service) registerObsMetrics() {
+	r := s.obsReg
+
+	// Cluster transport links (live nodes + retired totals).
+	clusterCounter := func(name, help string, get func(api.ClusterLinkStats) int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(get(s.clusterLinkStats())) })
+	}
+	clusterCounter("mediatord_cluster_link_sent_total",
+		"Payloads accepted by cluster transports for sending (loopback included).",
+		func(c api.ClusterLinkStats) int64 { return c.Sent })
+	clusterCounter("mediatord_cluster_link_delivered_total",
+		"Frames delivered exactly once to cluster inboxes.",
+		func(c api.ClusterLinkStats) int64 { return c.Delivered })
+	clusterCounter("mediatord_cluster_link_resends_total",
+		"Frames replayed from resend buffers after a reconnect.",
+		func(c api.ClusterLinkStats) int64 { return c.Resent })
+	clusterCounter("mediatord_cluster_link_duplicates_total",
+		"Inbound frames dropped by the dedup cursor.",
+		func(c api.ClusterLinkStats) int64 { return c.Duplicates })
+	clusterCounter("mediatord_cluster_link_redials_total",
+		"Outbound connections re-established after an established link dropped.",
+		func(c api.ClusterLinkStats) int64 { return c.Redials })
+	clusterCounter("mediatord_cluster_link_dial_errors_total",
+		"Failed dial or handshake attempts.",
+		func(c api.ClusterLinkStats) int64 { return c.DialErrors })
+	clusterCounter("mediatord_cluster_link_acks_total",
+		"Cumulative-ack frames received on outbound links.",
+		func(c api.ClusterLinkStats) int64 { return c.Acks })
+	clusterCounter("mediatord_cluster_link_rejected_total",
+		"Inbound handshakes refused.",
+		func(c api.ClusterLinkStats) int64 { return c.Rejected })
+	clusterCounter("mediatord_cluster_link_frames_in_total",
+		"Steady-state frames read from cluster connections.",
+		func(c api.ClusterLinkStats) int64 { return c.FramesIn })
+	clusterCounter("mediatord_cluster_link_frames_out_total",
+		"Steady-state frames written to cluster connections.",
+		func(c api.ClusterLinkStats) int64 { return c.FramesOut })
+	clusterCounter("mediatord_cluster_link_bytes_in_total",
+		"Bytes read from cluster connections (frame headers included).",
+		func(c api.ClusterLinkStats) int64 { return c.BytesIn })
+	clusterCounter("mediatord_cluster_link_bytes_out_total",
+		"Bytes written to cluster connections (frame headers included).",
+		func(c api.ClusterLinkStats) int64 { return c.BytesOut })
+	r.GaugeFunc("mediatord_cluster_link_queue_len",
+		"Unsent payloads queued across live per-peer outbound queues.",
+		func() float64 { return float64(s.clusterLinkStats().QueueLen) })
+	r.GaugeFunc("mediatord_cluster_link_resend_buffered",
+		"Sent-but-unacknowledged frames buffered for replay across live links.",
+		func() float64 { return float64(s.clusterLinkStats().ResendBuffered) })
+
+	// Worker pool.
+	r.GaugeFunc("mediatord_pool_workers",
+		"Fixed worker count of the shared pool.",
+		func() float64 { return float64(s.pool.Stats().Workers) })
+	r.GaugeFunc("mediatord_pool_active_workers",
+		"Workers currently executing a job.",
+		func() float64 { return float64(s.pool.Stats().Active) })
+	r.GaugeFunc("mediatord_pool_queue_len",
+		"Jobs queued behind the workers.",
+		func() float64 { return float64(s.pool.Stats().QueueLen) })
+	r.CounterFunc("mediatord_pool_jobs_completed_total",
+		"Jobs finished by the worker pool.",
+		func() float64 { return float64(s.pool.Stats().Completed) })
+	r.CounterFunc("mediatord_pool_jobs_shed_total",
+		"Non-blocking submits rejected on a full queue.",
+		func() float64 { return float64(s.pool.Stats().Shed) })
+	r.CounterFunc("mediatord_pool_queue_wait_seconds_total",
+		"Cumulative time jobs spent queued before a worker picked them up.",
+		func() float64 { return s.pool.Stats().QueueWait.Seconds() })
+
+	// Durable store (series render as zero on a memory-only farm).
+	r.CounterFunc("mediatord_store_wal_appends_total",
+		"Records appended to the write-ahead log since boot.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return float64(s.st.Metrics().WALAppends)
+		})
+	r.CounterFunc("mediatord_store_compactions_total",
+		"Snapshot compactions since boot.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return float64(s.st.Metrics().Compactions)
+		})
+	r.GaugeFunc("mediatord_store_keys",
+		"Live records in the durable store.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return float64(s.st.Metrics().Keys)
+		})
+	r.GaugeFunc("mediatord_store_replay_seconds",
+		"Time the last open spent replaying snapshot plus WAL.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return s.st.Metrics().ReplayTime.Seconds()
+		})
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"asyncmediator/internal/cluster"
 	"asyncmediator/internal/events"
 	"asyncmediator/internal/game"
+	"asyncmediator/internal/obs"
 	"asyncmediator/internal/pool"
 	"asyncmediator/internal/sim"
 	"asyncmediator/internal/store"
@@ -98,6 +100,10 @@ type Config struct {
 	// that severs every live cluster transport connection (CI smoke and
 	// game-day tooling). Never enable in production.
 	EnableChaos bool
+	// DisableTracing turns off per-play trace collection (the on-by-
+	// default observability layer). The overhead benchmark uses it to
+	// measure tracing's cost against an untraced baseline.
+	DisableTracing bool
 }
 
 func (c *Config) normalize() {
@@ -159,6 +165,15 @@ type Service struct {
 	clusterNodes  map[*wire.Node]struct{}
 	clusterHosted atomic.Int64
 	clusterTLS    *cluster.TLS
+	// clusterRetired accumulates the transport counters of closed nodes
+	// (guarded by clusterMu), so the fleet totals stay monotonic as
+	// plays come and go; clusterLinkStats folds live nodes on top.
+	clusterRetired api.ClusterLinkStats
+
+	// obsReg is the farm's metric registry: subsystem gauges/counters
+	// (cluster links, worker pool, store) registered at boot and
+	// rendered into /metrics alongside the sink's play statistics.
+	obsReg *obs.Registry
 
 	// idem caches POST responses by Idempotency-Key so clients can retry
 	// creates over transport failures.
@@ -208,6 +223,8 @@ func New(cfg Config) (*Service, error) {
 	s.recoverExperiments()
 	s.pool = pool.New(cfg.Workers, cfg.QueueDepth)
 	s.engine = sim.EngineOn(s.pool)
+	s.obsReg = obs.NewRegistry()
+	s.registerObsMetrics()
 	// Recovery replayed and the pool accepts submits: the readiness gate
 	// opens only now, so a handler mounted on a half-built farm reports
 	// not-ready rather than serving a partial view.
@@ -336,6 +353,9 @@ func (s *Service) Experiments(id string, o sim.Options) (*sim.Table, error) {
 func (s *Service) exec(worker int, sess *Session) {
 	s.publish(kindSession, sess.ID, StateRunning, nil)
 	types := sess.begin()
+	tr := sess.beginTrace(!s.cfg.DisableTracing)
+	endRun := tr.Begin("run", originLocal)
+	cpu0 := obs.CPUTime()
 	var (
 		prof game.Profile
 		res  *async.Result
@@ -348,6 +368,14 @@ func (s *Service) exec(worker int, sess *Session) {
 		prof, res, err = runWire(sess, types, s.cfg.WireTimeout)
 	default:
 		prof, res, err = runSim(sess, types)
+	}
+	endRun()
+	// The per-play CPU-delta sample: approximate (the process is shared
+	// by concurrent plays) but cheap, and enough to spot a play whose
+	// cost is compute rather than waiting.
+	if cpu := obs.CPUTime() - cpu0; cpu > 0 {
+		tr.Annotate("run", originLocal, "cpu_ms",
+			strconv.FormatFloat(float64(cpu)/float64(time.Millisecond), 'f', 3, 64))
 	}
 	sess.finish(prof, res, err)
 
@@ -399,11 +427,17 @@ func (s *Service) Stats() StatsView {
 	}
 	if s.st != nil {
 		v.SessionsPersisted = s.st.Count(sessionKeyPrefix)
+		st := storeStats(s.st)
+		v.Store = &st
 	}
 	if up > 0 {
 		v.SessionsPerSec = float64(tot.Sessions) / up
 		v.MessagesPerSec = float64(tot.MessagesSent) / up
 	}
+	cl := s.clusterLinkStats()
+	v.Cluster = &cl
+	pl := poolStats(s.pool)
+	v.Pool = &pl
 	return v
 }
 

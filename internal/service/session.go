@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"asyncmediator/internal/core"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/mediator"
+	"asyncmediator/internal/obs"
 )
 
 // The wire shapes of sessions are defined once, in the api package (the
@@ -152,6 +154,14 @@ type Session struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	// trace is the play's bounded trace buffer (nil with tracing off);
+	// it is minted by the executing worker and compacted into traceV at
+	// finish — the live buffer's span map is pointer-dense, and a farm
+	// retaining thousands of terminal sessions would pay for scanning it
+	// every GC cycle. traceV is the flat wire-shape view embedded in
+	// terminal snapshots, so it persists with the session record.
+	trace  *obs.PlayTrace
+	traceV *api.TraceView
 
 	// done closes when the session reaches a terminal state.
 	done chan struct{}
@@ -216,7 +226,31 @@ func (s *Session) begin() []game.Type {
 	return s.types
 }
 
-// finish records the outcome and closes Done.
+// beginTrace mints the session's play trace — the id is derived from
+// the session id and seed, so a replayed farm reproduces it. Disabled
+// tracing leaves the nil trace, which every obs method tolerates.
+func (s *Session) beginTrace(enabled bool) *obs.PlayTrace {
+	if !enabled {
+		return nil
+	}
+	tr := obs.NewPlayTrace(obs.DeriveTraceID(s.ID, strconv.FormatInt(s.seed, 10)), 0)
+	s.mu.Lock()
+	s.trace = tr
+	s.mu.Unlock()
+	return tr
+}
+
+// tracer returns the session's play trace (nil with tracing off or
+// before execution began).
+func (s *Session) tracer() *obs.PlayTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trace
+}
+
+// finish records the outcome and closes Done. The play trace — complete
+// by now: the run ended and any peer spans are stitched — is compacted
+// to its flat view and the buffer released.
 func (s *Session) finish(profile game.Profile, res *async.Result, err error) {
 	s.mu.Lock()
 	if err != nil {
@@ -227,6 +261,8 @@ func (s *Session) finish(profile game.Profile, res *async.Result, err error) {
 		s.profile = profile
 		s.res = res
 	}
+	s.traceV = traceView(s.trace)
+	s.trace = nil
 	s.finished = time.Now()
 	s.mu.Unlock()
 	close(s.done)
@@ -270,6 +306,9 @@ func (s *Session) Snapshot() View {
 	}
 	if s.state.Terminal() && !s.started.IsZero() {
 		v.DurationSeconds = s.finished.Sub(s.started).Seconds()
+	}
+	if s.state.Terminal() {
+		v.Trace = s.traceV
 	}
 	if s.err != nil {
 		v.Error = s.err.Error()

@@ -129,6 +129,16 @@ type durSample struct {
 	sec     float64
 }
 
+// maxDurationVariants caps the duration histogram's label cardinality:
+// each distinct variant is one Prometheus series (buckets + sum + count),
+// and an unbounded label set is how expositions melt scrapers. Samples
+// beyond the cap aggregate under VariantOverflow.
+const maxDurationVariants = 32
+
+// VariantOverflow is the catch-all duration-histogram label once
+// maxDurationVariants distinct variants exist.
+const VariantOverflow = "_other"
+
 // histograms is the collector-owned map state returned by a snapshot
 // request.
 type histograms struct {
@@ -174,8 +184,18 @@ func (s *Sink) collect() {
 	addDur := func(d durSample) {
 		h := durs[d.variant]
 		if h == nil {
-			h = newDurHist()
-			durs[d.variant] = h
+			if len(durs) >= maxDurationVariants {
+				// Cardinality cap: route the sample to the overflow label
+				// rather than minting a fresh series per unseen variant.
+				d.variant = VariantOverflow
+				if h = durs[d.variant]; h == nil {
+					h = newDurHist()
+					durs[d.variant] = h
+				}
+			} else {
+				h = newDurHist()
+				durs[d.variant] = h
+			}
 		}
 		h.add(d.sec)
 	}

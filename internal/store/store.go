@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -128,14 +129,42 @@ type Store struct {
 	dir          string
 	compactEvery int
 
-	mu         sync.Mutex
-	wal        *os.File
-	w          *bufio.Writer
-	index      map[string][]byte
-	sorted     []string // sorted key cache; nil when dirty
-	walRecords int
-	rec        Recovery
-	closed     bool
+	mu          sync.Mutex
+	wal         *os.File
+	w           *bufio.Writer
+	index       map[string][]byte
+	sorted      []string // sorted key cache; nil when dirty
+	walRecords  int
+	appends     int64 // lifetime WAL appends (never reset by compaction)
+	compactions int64
+	replayTime  time.Duration // how long Open spent recovering
+	rec         Recovery
+	closed      bool
+}
+
+// Metrics is a snapshot of the store's observability counters.
+type Metrics struct {
+	// WALAppends counts records appended since Open (monotonic; compaction
+	// does not reset it).
+	WALAppends int64
+	// Compactions counts snapshot rewrites since Open.
+	Compactions int64
+	// Keys is the live record count.
+	Keys int
+	// ReplayTime is how long Open spent replaying snapshot + WAL.
+	ReplayTime time.Duration
+}
+
+// Metrics snapshots the store's counters; safe from any goroutine.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		WALAppends:  s.appends,
+		Compactions: s.compactions,
+		Keys:        len(s.index),
+		ReplayTime:  s.replayTime,
+	}
 }
 
 // Open recovers the store in cfg.Dir: the snapshot is replayed first, then
@@ -156,6 +185,7 @@ func Open(cfg Config) (*Store, error) {
 		compactEvery: cfg.CompactEvery,
 		index:        make(map[string][]byte),
 	}
+	replayStart := time.Now()
 
 	if f, err := os.Open(filepath.Join(cfg.Dir, snapName)); err == nil {
 		n, _, rerr := replay(f, s.apply)
@@ -191,6 +221,8 @@ func Open(cfg Config) (*Store, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+
+	s.replayTime = time.Since(replayStart)
 
 	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -280,6 +312,7 @@ func (s *Store) Put(key string, data []byte) error {
 	}
 	s.index[key] = append([]byte(nil), data...)
 	s.walRecords++
+	s.appends++
 	if s.walRecords >= s.compactEvery {
 		return s.compactLocked()
 	}
@@ -437,6 +470,7 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	s.walRecords = 0
+	s.compactions++
 	return nil
 }
 

@@ -161,6 +161,9 @@ type NodeConfig struct {
 	// DialTimeout bounds one dial attempt (the transport retries with
 	// backoff until the node stops).
 	DialTimeout time.Duration
+	// TraceID, when set, is announced in the transport's HELLO so the
+	// play's distributed trace is visible at the wire layer.
+	TraceID string
 }
 
 // Node is one mesh participant executing a Process on the cluster
@@ -238,6 +241,7 @@ func (n *Node) Listen() error {
 		AdvertiseHost: n.cfg.AdvertiseHost,
 		TLS:           n.cfg.TLS,
 		DialTimeout:   n.cfg.DialTimeout,
+		TraceID:       n.cfg.TraceID,
 	})
 	if err != nil {
 		return fmt.Errorf("wire: %w", err)

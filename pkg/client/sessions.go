@@ -57,6 +57,16 @@ func (c *Client) GetSession(ctx context.Context, id string) (api.SessionView, er
 	return v, err
 }
 
+// GetSessionTrace fetches a terminal session's stitched play trace: one
+// trace id, per-phase spans from every daemon that co-hosted the play.
+// Pre-terminal sessions (and farms running with tracing disabled) answer
+// ErrNotFound.
+func (c *Client) GetSessionTrace(ctx context.Context, id string) (api.TraceView, error) {
+	var v api.TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/trace", nil, nil, &v)
+	return v, err
+}
+
 // WaitSession long-polls until the session reaches a terminal state or
 // ctx expires: each round trip holds for the server's maximum wait, so a
 // play that finishes in milliseconds answers in milliseconds.
