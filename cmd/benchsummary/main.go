@@ -12,6 +12,13 @@
 // seed summary and warns on stderr when a case regressed more than 20%.
 // The diff never fails the run — single-shot CI benchmarks are too noisy
 // to gate on — it makes the regression visible in the job log.
+//
+// With -kernels SEED.json it instead compares the field/poly/rs/shamir
+// kernel micro-benchmarks (metric ns/op) against a committed kernel
+// baseline and EXITS NON-ZERO when any case slowed down more than 20%.
+// Unlike the end-to-end farm benchmarks, the kernels are tight arithmetic
+// loops with stable timings, so a hard gate is reliable: a >20% ns/op
+// jump on MulVec or batch interpolation is a real regression, not noise.
 package main
 
 import (
@@ -130,8 +137,64 @@ func diffThroughput(w io.Writer, seed, cur *Summary) {
 	}
 }
 
+// kernelMetric is the unit the -kernels gate compares on, and kernelPkgs
+// lists the packages whose benchmarks it gates. Lower is better for
+// ns/op, so the gate trips when cur > seed * (1 + regressionFrac).
+const kernelMetric = "ns/op"
+
+var kernelPkgs = map[string]bool{
+	"asyncmediator/internal/field":  true,
+	"asyncmediator/internal/poly":   true,
+	"asyncmediator/internal/rs":     true,
+	"asyncmediator/internal/shamir": true,
+}
+
+// diffKernels compares cur's kernel benchmarks against the seed summary
+// and writes one FAIL line per case that slowed down more than
+// regressionFrac. It returns the number of failing cases; a non-zero
+// count must fail the run. Cases missing on either side are skipped.
+func diffKernels(w io.Writer, seed, cur *Summary) int {
+	type key struct{ pkg, name string }
+	base := map[key]float64{}
+	for _, b := range seed.Benchmarks {
+		if kernelPkgs[b.Pkg] {
+			if v, ok := b.Metrics[kernelMetric]; ok && v > 0 {
+				base[key{b.Pkg, b.Name}] = v
+			}
+		}
+	}
+	bad := 0
+	for _, b := range cur.Benchmarks {
+		want, ok := base[key{b.Pkg, b.Name}]
+		if !ok {
+			continue
+		}
+		got := b.Metrics[kernelMetric]
+		if got > want*(1+regressionFrac) {
+			bad++
+			fmt.Fprintf(w, "benchsummary: FAIL: %s %s regressed: %.1f %s vs seed %.1f (+%.0f%%, threshold %.0f%%)\n",
+				b.Pkg, b.Name, got, kernelMetric, want, 100*(got/want-1), 100*regressionFrac)
+		}
+	}
+	return bad
+}
+
+// loadSummary reads a committed summary JSON from disk.
+func loadSummary(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
 func main() {
 	diff := flag.String("diff", "", "seed summary JSON to compare farm throughput against (warn-only)")
+	kernels := flag.String("kernels", "", "seed summary JSON to gate kernel ns/op against (hard-fail)")
 	flag.Parse()
 	s, err := Parse(os.Stdin)
 	if err != nil {
@@ -139,22 +202,31 @@ func main() {
 		os.Exit(1)
 	}
 	if *diff != "" {
-		raw, err := os.ReadFile(*diff)
+		seed, err := loadSummary(*diff)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsummary:", err)
 			os.Exit(1)
 		}
-		var seed Summary
-		if err := json.Unmarshal(raw, &seed); err != nil {
-			fmt.Fprintf(os.Stderr, "benchsummary: parsing %s: %v\n", *diff, err)
+		diffThroughput(os.Stderr, seed, s)
+	}
+	failures := 0
+	if *kernels != "" {
+		seed, err := loadSummary(*kernels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsummary:", err)
 			os.Exit(1)
 		}
-		diffThroughput(os.Stderr, &seed, s)
+		failures = diffKernels(os.Stderr, seed, s)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchsummary: %d kernel benchmark(s) regressed beyond %.0f%%\n",
+			failures, 100*regressionFrac)
 		os.Exit(1)
 	}
 }

@@ -50,3 +50,79 @@ func TestParseSkipsMalformed(t *testing.T) {
 		t.Fatalf("want only the well-formed line: %+v", s.Benchmarks)
 	}
 }
+
+// kernelSummary builds a Summary with one field-package kernel benchmark
+// at the given ns/op, plus a non-kernel throughput benchmark the gate
+// must ignore.
+func kernelSummary(nsop, other float64) *Summary {
+	return &Summary{Benchmarks: []Benchmark{
+		{Pkg: "asyncmediator/internal/field", Name: "BenchmarkMulVec",
+			Iterations: 1000, Metrics: map[string]float64{"ns/op": nsop}},
+		{Pkg: "asyncmediator/internal/service", Name: "BenchmarkServiceThroughput/default",
+			Iterations: 10, Metrics: map[string]float64{"ns/op": other, "sessions/sec": 100}},
+	}}
+}
+
+// TestKernelGateFailsOnInjectedRegression is the gate's contract: an
+// injected 25% ns/op regression on a kernel benchmark must produce a
+// non-zero failure count (CI exits 1), while the same slowdown on a
+// non-kernel benchmark must not.
+func TestKernelGateFailsOnInjectedRegression(t *testing.T) {
+	seed := kernelSummary(1000, 1000)
+	cur := kernelSummary(1250, 1250) // +25% on both
+	var sb strings.Builder
+	if got := diffKernels(&sb, seed, cur); got != 1 {
+		t.Fatalf("injected 25%% kernel regression: %d failures, want 1\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") || !strings.Contains(sb.String(), "BenchmarkMulVec") {
+		t.Fatalf("missing FAIL diagnostics: %q", sb.String())
+	}
+	if strings.Contains(sb.String(), "ServiceThroughput") {
+		t.Fatalf("non-kernel benchmark must not be gated: %q", sb.String())
+	}
+}
+
+// TestKernelGatePassesWithinThreshold: 20% is the edge; slightly under
+// must pass, speedups must pass.
+func TestKernelGatePassesWithinThreshold(t *testing.T) {
+	seed := kernelSummary(1000, 1000)
+	for _, cur := range []*Summary{
+		kernelSummary(1190, 1190), // +19%
+		kernelSummary(400, 400),   // speedup
+		kernelSummary(1000, 1000), // unchanged
+	} {
+		var sb strings.Builder
+		if got := diffKernels(&sb, seed, cur); got != 0 {
+			t.Fatalf("unexpected gate failure at %v ns/op: %s",
+				cur.Benchmarks[0].Metrics["ns/op"], sb.String())
+		}
+	}
+}
+
+// TestKernelGateSkipsUnknownCases: benchmarks absent from the seed (new
+// benches) or from the current run (filtered out) are not gated.
+func TestKernelGateSkipsUnknownCases(t *testing.T) {
+	seed := kernelSummary(1000, 1000)
+	cur := &Summary{Benchmarks: []Benchmark{
+		{Pkg: "asyncmediator/internal/field", Name: "BenchmarkBrandNew",
+			Iterations: 1, Metrics: map[string]float64{"ns/op": 9e9}},
+	}}
+	var sb strings.Builder
+	if got := diffKernels(&sb, seed, cur); got != 0 {
+		t.Fatalf("new benchmark must not be gated: %s", sb.String())
+	}
+}
+
+func TestDiffThroughputWarnOnly(t *testing.T) {
+	seed := &Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServiceThroughput/default", Metrics: map[string]float64{"sessions/sec": 100}},
+	}}
+	cur := &Summary{Benchmarks: []Benchmark{
+		{Name: "BenchmarkServiceThroughput/default", Metrics: map[string]float64{"sessions/sec": 50}},
+	}}
+	var sb strings.Builder
+	diffThroughput(&sb, seed, cur)
+	if !strings.Contains(sb.String(), "WARNING") {
+		t.Fatalf("expected a throughput warning: %q", sb.String())
+	}
+}

@@ -134,11 +134,11 @@ func (a *AVSS) Input(ctx *proto.Ctx, secret field.Element) {
 
 func (a *AVSS) deal(ctx *proto.Ctx) {
 	f := poly.NewBivariate(ctx.Rand(), a.deg, a.secret)
-	for j := 0; j < a.n; j++ {
-		row := f.Row(field.Element(j + 1))
-		coeffs := make([]field.Element, len(row))
-		copy(coeffs, row)
-		ctx.Send(async.PID(j), MsgRow{Coeffs: coeffs})
+	// Batched dealing: all n rows are evaluated in one kernel sweep over
+	// a single backing allocation (see poly.Bivariate.Rows) instead of
+	// one scalar Row pass plus one copy per recipient.
+	for j, row := range f.Rows(a.n) {
+		ctx.Send(async.PID(j), MsgRow{Coeffs: row})
 	}
 }
 
@@ -176,8 +176,13 @@ func (a *AVSS) broadcastPoints(ctx *proto.Ctx) {
 		return
 	}
 	a.shared = true
-	for j := 0; j < a.n; j++ {
-		ctx.Send(async.PID(j), MsgPoint{V: a.row.Eval(field.Element(j + 1))})
+	// One vectorized Horner pass evaluates the row at every party index.
+	xs := make([]field.Element, a.n)
+	for j := range xs {
+		xs[j] = field.Element(j + 1)
+	}
+	for j, v := range poly.EvalMany(a.row, xs) {
+		ctx.Send(async.PID(j), MsgPoint{V: v})
 	}
 }
 

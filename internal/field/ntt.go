@@ -1,0 +1,195 @@
+package field
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Number-theoretic transform over the quadratic extension GF(p^2).
+//
+// The multiplicative group of GF(p) for the Mersenne prime p = 2^31-1 has
+// order p-1 = 2 * (2^30 - 1): its 2-adicity is 1, so no radix-2 NTT of
+// useful size exists in the base field. The standard fix (the "circle
+// group" of Mersenne-31 proof systems) is to move to GF(p^2) = GF(p)[i]
+// with i^2 = -1 (irreducible because p ≡ 3 mod 4): the norm-1 subgroup
+// {a + bi : a^2 + b^2 = 1} is cyclic of order p+1 = 2^31, so radix-2
+// roots of unity exist for every transform size up to 2^31.
+//
+// Polynomials over GF(p) are lifted to GF(p^2) (imaginary parts zero),
+// transformed, multiplied pointwise and transformed back; the result is
+// exact and lands back in GF(p). Package poly uses this for O(n log n)
+// multiplication past the schoolbook crossover.
+
+// MaxNTTLogSize is the largest supported log2 transform size (the circle
+// group has order 2^31, and products must stay indexable).
+const MaxNTTLogSize = 27
+
+// circleGen is the generator of the order-2^31 circle subgroup, found at
+// init by projecting small candidates through the norm map.
+var circleGen e2
+
+// e2 is a GF(p^2) element a + b*i with canonical limbs.
+type e2 struct{ a, b uint64 }
+
+func e2Add(x, y e2) e2 { return e2{csub(x.a + y.a), csub(x.b + y.b)} }
+
+func e2Sub(x, y e2) e2 {
+	da := x.a - y.a
+	db := x.b - y.b
+	return e2{da + (P & uint64(int64(da)>>63)), db + (P & uint64(int64(db)>>63))}
+}
+
+// e2Mul returns x*y: (a+bi)(c+di) = (ac - bd) + (ad + bc)i.
+func e2Mul(x, y e2) e2 {
+	ac := mulRed(x.a, y.a)
+	bd := mulRed(x.b, y.b)
+	ad := mulRed(x.a, y.b)
+	bc := mulRed(x.b, y.a)
+	d := ac - bd
+	return e2{d + (P & uint64(int64(d)>>63)), csub(ad + bc)}
+}
+
+func e2Pow(x e2, k uint64) e2 {
+	r := e2{1, 0}
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			r = e2Mul(r, x)
+		}
+		x = e2Mul(x, x)
+	}
+	return r
+}
+
+func init() {
+	// For any unit u, u^(p-1) has norm u^(p^2-1) = 1, so it lies in the
+	// order-(p+1) circle subgroup. Scan small candidates until one
+	// projects onto a full-order (2^31) generator.
+	for c := uint64(2); ; c++ {
+		g := e2Pow(e2{c, 1}, P-1)
+		if e2Pow(g, 1<<30) != (e2{1, 0}) && e2Pow(g, 1<<31) == (e2{1, 0}) {
+			circleGen = g
+			return
+		}
+	}
+}
+
+// nttPlan caches the twiddle factors and bit-reversal permutation for one
+// transform size.
+type nttPlan struct {
+	n      int
+	rev    []int
+	wA, wB Vec // wA[j] + wB[j]*i = w^j for j < n/2, w of order n
+	iA, iB Vec // inverse-root powers
+	nInv   uint64
+}
+
+var (
+	planMu sync.Mutex
+	plans  = map[int]*nttPlan{}
+)
+
+// planFor returns (building if needed) the cached plan for size n = 2^k.
+func planFor(n int) *nttPlan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := plans[n]; ok {
+		return p
+	}
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	p := &nttPlan{n: n, rev: make([]int, n)}
+	for i := 1; i < n; i++ {
+		p.rev[i] = p.rev[i>>1]>>1 | (i&1)<<(logN-1)
+	}
+	w := e2Pow(circleGen, 1<<(31-logN))
+	wi := e2Pow(w, uint64(n-1)) // w^-1
+	p.wA, p.wB = make(Vec, n/2), make(Vec, n/2)
+	p.iA, p.iB = make(Vec, n/2), make(Vec, n/2)
+	cur, curI := e2{1, 0}, e2{1, 0}
+	for j := 0; j < n/2; j++ {
+		p.wA[j], p.wB[j] = cur.a, cur.b
+		p.iA[j], p.iB[j] = curI.a, curI.b
+		cur = e2Mul(cur, w)
+		curI = e2Mul(curI, wi)
+	}
+	p.nInv = uint64(Element(n).Inv())
+	plans[n] = p
+	return p
+}
+
+// NTTSize returns the transform size (a power of two >= n) used for an
+// n-coefficient result, or 0 if n exceeds the supported maximum.
+func NTTSize(n int) int {
+	if n > 1<<MaxNTTLogSize {
+		return 0
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
+// transform runs an in-place radix-2 Cooley-Tukey NTT over GF(p^2) on the
+// parallel limb slices (re, im), length plan.n, using the given root
+// power tables.
+func (p *nttPlan) transform(re, im, rootA, rootB Vec) {
+	n := p.n
+	for i, r := range p.rev {
+		if i < r {
+			re[i], re[r] = re[r], re[i]
+			im[i], im[r] = im[r], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		step := n / length
+		for start := 0; start < n; start += length {
+			for j := 0; j < half; j++ {
+				wa, wb := rootA[j*step], rootB[j*step]
+				lo, hi := start+j, start+j+half
+				// v = a[hi] * w
+				v := e2Mul(e2{re[hi], im[hi]}, e2{wa, wb})
+				u := e2{re[lo], im[lo]}
+				s := e2Add(u, v)
+				d := e2Sub(u, v)
+				re[lo], im[lo] = s.a, s.b
+				re[hi], im[hi] = d.a, d.b
+			}
+		}
+	}
+}
+
+// NTTMul multiplies two GF(p) coefficient vectors of lengths la and lb
+// via the extension-field NTT and writes the la+lb-1 product coefficients
+// into dst (which must have that length). It panics if the product does
+// not fit the supported transform sizes; callers gate on NTTSize.
+func NTTMul(dst, a, b Vec) {
+	outLen := len(a) + len(b) - 1
+	n := NTTSize(outLen)
+	if n == 0 {
+		panic(fmt.Sprintf("field: NTT product length %d exceeds 2^%d", outLen, MaxNTTLogSize))
+	}
+	plan := planFor(n)
+	ar, ai := AcquireVec(n), AcquireVec(n)
+	br, bi := AcquireVec(n), AcquireVec(n)
+	defer func() {
+		ReleaseVec(ar)
+		ReleaseVec(ai)
+		ReleaseVec(br)
+		ReleaseVec(bi)
+	}()
+	copy(ar, a)
+	copy(br, b)
+	plan.transform(ar, ai, plan.wA, plan.wB)
+	plan.transform(br, bi, plan.wA, plan.wB)
+	for i := 0; i < n; i++ {
+		v := e2Mul(e2{ar[i], ai[i]}, e2{br[i], bi[i]})
+		ar[i], ai[i] = v.a, v.b
+	}
+	plan.transform(ar, ai, plan.iA, plan.iB)
+	ScalarMulVec(ar[:outLen], ar[:outLen], plan.nInv)
+	copy(dst, ar[:outLen])
+}

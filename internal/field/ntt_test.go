@@ -1,0 +1,128 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCircleGenOrder(t *testing.T) {
+	if e2Pow(circleGen, 1<<31) != (e2{1, 0}) {
+		t.Fatal("circle generator order does not divide 2^31")
+	}
+	if e2Pow(circleGen, 1<<30) == (e2{1, 0}) {
+		t.Fatal("circle generator order divides 2^30: not a full-order generator")
+	}
+	// Norm check: a^2 + b^2 = 1 for every circle element.
+	n := csub(mulRed(circleGen.a, circleGen.a) + mulRed(circleGen.b, circleGen.b))
+	if n != 1 {
+		t.Fatalf("circle generator norm %d, want 1", n)
+	}
+}
+
+func TestE2Arithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for k := 0; k < 200; k++ {
+		x := e2{uint64(Rand(rng)), uint64(Rand(rng))}
+		y := e2{uint64(Rand(rng)), uint64(Rand(rng))}
+		// Commutativity and the defining identity i^2 = -1.
+		if e2Mul(x, y) != e2Mul(y, x) {
+			t.Fatal("e2Mul not commutative")
+		}
+	}
+	i2 := e2Mul(e2{0, 1}, e2{0, 1})
+	if i2 != (e2{P - 1, 0}) {
+		t.Fatalf("i^2 = %v, want -1", i2)
+	}
+}
+
+func TestNTTSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{1 << 27, 1 << 27}, {1<<27 + 1, 0},
+	}
+	for _, c := range cases {
+		if got := NTTSize(c.n); got != c.want {
+			t.Fatalf("NTTSize(%d)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{2, 4, 8, 64, 512} {
+		plan := planFor(n)
+		re := randVec(rng, n)
+		im := randVec(rng, n)
+		wantRe := append(Vec(nil), re...)
+		wantIm := append(Vec(nil), im...)
+		plan.transform(re, im, plan.wA, plan.wB)
+		plan.transform(re, im, plan.iA, plan.iB)
+		ScalarMulVec(re, re, plan.nInv)
+		ScalarMulVec(im, im, plan.nInv)
+		for i := 0; i < n; i++ {
+			if re[i] != wantRe[i] || im[i] != wantIm[i] {
+				t.Fatalf("n=%d i=%d: round trip (%d,%d) != (%d,%d)",
+					n, i, re[i], im[i], wantRe[i], wantIm[i])
+			}
+		}
+	}
+}
+
+// mulSchoolbookVec is the reference convolution for NTTMul tests.
+func mulSchoolbookVec(a, b Vec) Vec {
+	out := make(Vec, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] = uint64(Element(out[i+j]).Add(Element(av).Mul(Element(bv))))
+		}
+	}
+	return out
+}
+
+func TestNTTMulVsSchoolbook(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	shapes := []struct{ la, lb int }{
+		{1, 1}, {2, 2}, {3, 5}, {7, 9}, {64, 64}, {100, 300}, {513, 511},
+	}
+	for _, s := range shapes {
+		a := randVec(rng, s.la)
+		b := randVec(rng, s.lb)
+		want := mulSchoolbookVec(a, b)
+		got := make(Vec, s.la+s.lb-1)
+		NTTMul(got, a, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("la=%d lb=%d i=%d: NTTMul=%d schoolbook=%d",
+					s.la, s.lb, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNTTMulExtremes(t *testing.T) {
+	// All-(P-1) inputs maximize every intermediate value.
+	n := 128
+	a := make(Vec, n)
+	for i := range a {
+		a[i] = P - 1
+	}
+	want := mulSchoolbookVec(a, a)
+	got := make(Vec, 2*n-1)
+	NTTMul(got, a, a)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("i=%d: NTTMul=%d schoolbook=%d", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkNTTMul1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	x := randVec(rng, 1024)
+	y := randVec(rng, 1024)
+	dst := make(Vec, 2047)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NTTMul(dst, x, y)
+	}
+}

@@ -1,0 +1,367 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVec returns n random canonical limbs.
+func randVec(rng *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = uint64(Rand(rng))
+	}
+	return v
+}
+
+// Lengths exercised by every differential test: empty, tiny, odd, and a
+// size large enough to cover unrolled/tail paths.
+var vecLens = []int{0, 1, 2, 3, 7, 16, 33, 257}
+
+func TestAddVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range vecLens {
+		a, b := randVec(rng, n), randVec(rng, n)
+		dst := make(Vec, n)
+		AddVec(dst, a, b)
+		for i := range a {
+			if want := uint64(Element(a[i]).Add(Element(b[i]))); dst[i] != want {
+				t.Fatalf("n=%d i=%d: AddVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestSubVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range vecLens {
+		a, b := randVec(rng, n), randVec(rng, n)
+		dst := make(Vec, n)
+		SubVec(dst, a, b)
+		for i := range a {
+			if want := uint64(Element(a[i]).Sub(Element(b[i]))); dst[i] != want {
+				t.Fatalf("n=%d i=%d: SubVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range vecLens {
+		a, b := randVec(rng, n), randVec(rng, n)
+		dst := make(Vec, n)
+		MulVec(dst, a, b)
+		for i := range a {
+			if want := uint64(Element(a[i]).Mul(Element(b[i]))); dst[i] != want {
+				t.Fatalf("n=%d i=%d: MulVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulVecBoundaryValues(t *testing.T) {
+	// P-1 is the largest canonical limb; products of extremes stress the
+	// single-fold reduction bound.
+	ext := Vec{0, 1, 2, P - 2, P - 1}
+	for _, x := range ext {
+		for _, y := range ext {
+			dst := make(Vec, 1)
+			MulVec(dst, Vec{x}, Vec{y})
+			if want := uint64(Element(x).Mul(Element(y))); dst[0] != want {
+				t.Fatalf("MulVec(%d,%d)=%d want %d", x, y, dst[0], want)
+			}
+		}
+	}
+}
+
+func TestScalarMulVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range vecLens {
+		a := randVec(rng, n)
+		c := uint64(Rand(rng))
+		dst := make(Vec, n)
+		ScalarMulVec(dst, a, c)
+		for i := range a {
+			if want := uint64(Element(a[i]).Mul(Element(c))); dst[i] != want {
+				t.Fatalf("n=%d i=%d: ScalarMulVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range vecLens {
+		a, b, d0 := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		dst := append(Vec(nil), d0...)
+		MulAddVec(dst, a, b)
+		for i := range a {
+			want := uint64(Element(d0[i]).Add(Element(a[i]).Mul(Element(b[i]))))
+			if dst[i] != want {
+				t.Fatalf("n=%d i=%d: MulAddVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestScalarMulAddVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range vecLens {
+		a, d0 := randVec(rng, n), randVec(rng, n)
+		c := uint64(Rand(rng))
+		dst := append(Vec(nil), d0...)
+		ScalarMulAddVec(dst, a, c)
+		for i := range a {
+			want := uint64(Element(d0[i]).Add(Element(c).Mul(Element(a[i]))))
+			if dst[i] != want {
+				t.Fatalf("n=%d i=%d: ScalarMulAddVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestScalarMulSubVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range vecLens {
+		a, d0 := randVec(rng, n), randVec(rng, n)
+		c := uint64(Rand(rng))
+		dst := append(Vec(nil), d0...)
+		ScalarMulSubVec(dst, a, c)
+		for i := range a {
+			want := uint64(Element(d0[i]).Sub(Element(c).Mul(Element(a[i]))))
+			if dst[i] != want {
+				t.Fatalf("n=%d i=%d: ScalarMulSubVec=%d scalar=%d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestHornerStepVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range vecLens {
+		x, a0 := randVec(rng, n), randVec(rng, n)
+		c := uint64(Rand(rng))
+		acc := append(Vec(nil), a0...)
+		HornerStepVec(acc, x, c)
+		for i := range x {
+			want := uint64(Element(a0[i]).Mul(Element(x[i])).Add(Element(c)))
+			if acc[i] != want {
+				t.Fatalf("n=%d i=%d: HornerStepVec=%d scalar=%d", n, i, acc[i], want)
+			}
+		}
+	}
+}
+
+func TestDotVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range vecLens {
+		a, b := randVec(rng, n), randVec(rng, n)
+		got := DotVec(a, b)
+		var want Element
+		for i := range a {
+			want = want.Add(Element(a[i]).Mul(Element(b[i])))
+		}
+		if got != uint64(want) {
+			t.Fatalf("n=%d: DotVec=%d scalar=%d", n, got, want)
+		}
+	}
+}
+
+func TestSumVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range vecLens {
+		a := randVec(rng, n)
+		got := SumVec(a)
+		var want Element
+		for _, v := range a {
+			want = want.Add(Element(v))
+		}
+		if got != uint64(want) {
+			t.Fatalf("n=%d: SumVec=%d scalar=%d", n, got, want)
+		}
+	}
+}
+
+func TestNegVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range vecLens {
+		a := randVec(rng, n)
+		if n > 0 {
+			a[0] = 0 // force the zero special case
+		}
+		dst := make(Vec, n)
+		NegVec(dst, a)
+		for i := range a {
+			if want := uint64(Element(a[i]).Neg()); dst[i] != want {
+				t.Fatalf("n=%d i=%d: NegVec(%d)=%d scalar=%d", n, i, a[i], dst[i], want)
+			}
+		}
+	}
+}
+
+func TestInvVecVsScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range vecLens {
+		a := randVec(rng, n)
+		if n > 2 {
+			a[1] = 0 // interior zero must not poison neighbours
+			a[n-1] = 0
+		}
+		dst := make(Vec, n)
+		InvVec(dst, a)
+		for i := range a {
+			if want := uint64(Element(a[i]).Inv()); dst[i] != want {
+				t.Fatalf("n=%d i=%d: InvVec(%d)=%d scalar=%d", n, i, a[i], dst[i], want)
+			}
+		}
+	}
+}
+
+func TestInvVecInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randVec(rng, 65)
+	a[7] = 0
+	want := make(Vec, len(a))
+	InvVec(want, a)
+	InvVec(a, a) // aliased
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("i=%d: in-place InvVec=%d separate=%d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestVecAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a, b := randVec(rng, 64), randVec(rng, 64)
+	want := make(Vec, 64)
+	MulVec(want, a, b)
+	got := append(Vec(nil), a...)
+	MulVec(got, got, b) // dst aliases a
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("i=%d: aliased MulVec=%d separate=%d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestToFromVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	es := make([]Element, 33)
+	for i := range es {
+		es[i] = Rand(rng)
+	}
+	v := ToVec(nil, es)
+	back := FromVec(nil, v)
+	for i := range es {
+		if back[i] != es[i] {
+			t.Fatalf("i=%d: round trip %v != %v", i, back[i], es[i])
+		}
+	}
+	// Reuse path: a large-enough destination must be resliced, not grown.
+	big := make(Vec, 100)
+	v2 := ToVec(big, es)
+	if len(v2) != len(es) || &v2[0] != &big[0] {
+		t.Fatal("ToVec did not reuse the provided buffer")
+	}
+}
+
+func TestAcquireReleaseVec(t *testing.T) {
+	v := AcquireVec(40)
+	if len(v) != 40 {
+		t.Fatalf("AcquireVec length %d", len(v))
+	}
+	for i := range v {
+		if v[i] != 0 {
+			t.Fatal("AcquireVec returned non-zero scratch")
+		}
+		v[i] = 7 // dirty it
+	}
+	ReleaseVec(v)
+	w := AcquireVec(8)
+	for i := range w {
+		if w[i] != 0 {
+			t.Fatal("pooled vector not cleared on reacquire")
+		}
+	}
+	ReleaseVec(w)
+}
+
+// --- kernel benchmarks -------------------------------------------------
+
+const benchN = 1024
+
+func benchVecs(b *testing.B) (x, y, z Vec) {
+	rng := rand.New(rand.NewSource(42))
+	return randVec(rng, benchN), randVec(rng, benchN), make(Vec, benchN)
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	x, y, z := benchVecs(b)
+	b.SetBytes(8 * benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVec(z, x, y)
+	}
+}
+
+func BenchmarkMulScalarLoop(b *testing.B) {
+	x, y, z := benchVecs(b)
+	b.SetBytes(8 * benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchN; j++ {
+			z[j] = uint64(Element(x[j]).Mul(Element(y[j])))
+		}
+	}
+}
+
+func BenchmarkScalarMulAddVec(b *testing.B) {
+	x, _, z := benchVecs(b)
+	b.SetBytes(8 * benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScalarMulAddVec(z, x, 123456789)
+	}
+}
+
+func BenchmarkDotVec(b *testing.B) {
+	x, y, _ := benchVecs(b)
+	b.SetBytes(8 * benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DotVec(x, y)
+	}
+}
+
+func BenchmarkDotScalarLoop(b *testing.B) {
+	x, y, _ := benchVecs(b)
+	b.SetBytes(8 * benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc Element
+		for j := 0; j < benchN; j++ {
+			acc = acc.Add(Element(x[j]).Mul(Element(y[j])))
+		}
+		_ = acc
+	}
+}
+
+func BenchmarkInvVec(b *testing.B) {
+	x, _, z := benchVecs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InvVec(z, x)
+	}
+}
+
+func BenchmarkInvScalarLoop(b *testing.B) {
+	x, _, z := benchVecs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchN; j++ {
+			z[j] = uint64(Element(x[j]).Inv())
+		}
+	}
+}

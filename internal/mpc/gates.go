@@ -1,6 +1,9 @@
 package mpc
 
 import (
+	"fmt"
+	"strings"
+
 	"asyncmediator/internal/acs"
 	"asyncmediator/internal/async"
 	"asyncmediator/internal/avss"
@@ -104,12 +107,8 @@ func (e *Engine) reshareResult(ms *mulState) (field.Element, bool) {
 			return 0, false // awaiting a core member's resharing (totality)
 		}
 	}
-	xs := make([]field.Element, len(ms.members))
-	for i, d := range ms.members {
-		xs[i] = shamir.XOf(d)
-	}
-	lambda, err := poly.LagrangeCoeffsAtZero(xs)
-	if err != nil {
+	lambda := e.lagWeights(ms.members)
+	if lambda == nil {
 		return 0, false
 	}
 	var z field.Element
@@ -117,6 +116,32 @@ func (e *Engine) reshareResult(ms *mulState) (field.Element, bool) {
 		z = z.Add(lambda[i].Mul(ms.myShares[d]))
 	}
 	return z, true
+}
+
+// lagWeights returns the cached Lagrange recombination weights for the
+// given member set, computing them (one batched kernel call) on first
+// use. The engine is single-threaded per party, so the cache needs no
+// locking. Returns nil on duplicate members (cannot happen for honest
+// core sets).
+func (e *Engine) lagWeights(members []int) []field.Element {
+	var sb strings.Builder
+	for _, d := range members {
+		fmt.Fprintf(&sb, "%d,", d)
+	}
+	key := sb.String()
+	if w, ok := e.lagCache[key]; ok {
+		return w
+	}
+	xs := make([]field.Element, len(members))
+	for i, d := range members {
+		xs[i] = shamir.XOf(d)
+	}
+	w, err := poly.LagrangeCoeffsAtZero(xs)
+	if err != nil {
+		return nil
+	}
+	e.lagCache[key] = w
+	return w
 }
 
 // evalRandBit progresses a random-bit gate.

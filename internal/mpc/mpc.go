@@ -128,6 +128,13 @@ type Engine struct {
 	muls  map[int]*mulState
 	rbs   map[int]*rbState
 
+	// lagCache memoizes Lagrange recombination weights per agreed member
+	// set. Every multiplication (and epsilon-regime random bit) runs a
+	// degree reduction over a core that is almost always identical across
+	// gates, so the weights are computed once per set and amortized over
+	// the whole circuit.
+	lagCache map[string][]field.Element
+
 	outOpens  map[int]*avss.Open
 	outVals   map[int]field.Element
 	outWant   int
@@ -179,6 +186,7 @@ func New(cfg Config) (*Engine, error) {
 		coreMk:   make(map[int]bool),
 		muls:     make(map[int]*mulState),
 		rbs:      make(map[int]*rbState),
+		lagCache: make(map[string][]field.Element),
 		outOpens: make(map[int]*avss.Open),
 		outVals:  make(map[int]field.Element),
 	}, nil

@@ -3,6 +3,14 @@
 // workhorses behind Shamir secret sharing (package shamir), Reed-Solomon
 // decoding (package rs) and the BGW/BCG multiplication degree reduction
 // (package mpc).
+//
+// The exported entry points run on the batched field.Vec kernels: one
+// batch inversion per interpolation instead of one per basis polynomial,
+// O(n^2) master-polynomial interpolation instead of O(n^3) basis
+// rebuilding, vectorized multi-point Horner evaluation, and NTT
+// multiplication past the schoolbook crossover. The original scalar
+// implementations remain in ref.go as the correctness oracle (see
+// UseReference).
 package poly
 
 import (
@@ -12,6 +20,13 @@ import (
 
 	"asyncmediator/internal/field"
 )
+
+// Scalar mod-P helpers on raw limbs; Element is a uint64 under the hood,
+// so these compile to the same branch-light sequences as the kernels.
+func addU(a, b uint64) uint64 { return uint64(field.Element(a).Add(field.Element(b))) }
+func subU(a, b uint64) uint64 { return uint64(field.Element(a).Sub(field.Element(b))) }
+func mulU(a, b uint64) uint64 { return uint64(field.Element(a).Mul(field.Element(b))) }
+func negU(a uint64) uint64    { return uint64(field.Element(a).Neg()) }
 
 // Poly is a univariate polynomial; Poly[i] is the coefficient of x^i.
 // The canonical form has no trailing zero coefficients (the zero polynomial
@@ -45,10 +60,18 @@ func (p Poly) trim() Poly {
 }
 
 // Degree returns the degree of p; the zero polynomial has degree -1.
-func (p Poly) Degree() int { return len(p.trim()) - 1 }
+// It scans the (usually empty) zero tail directly instead of building a
+// trimmed slice, so it is safe to call in hot loops.
+func (p Poly) Degree() int {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return n - 1
+}
 
 // IsZero reports whether p is the zero polynomial.
-func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+func (p Poly) IsZero() bool { return p.Degree() < 0 }
 
 // Eval evaluates p at x by Horner's rule.
 func (p Poly) Eval(x field.Element) field.Element {
@@ -57,6 +80,29 @@ func (p Poly) Eval(x field.Element) field.Element {
 		acc = acc.Mul(x).Add(p[i])
 	}
 	return acc
+}
+
+// EvalMany evaluates p at every x in xs simultaneously, folding the
+// coefficients through one vectorized Horner step per degree. It is the
+// batched form of Eval, used for share generation and Reed-Solomon
+// syndrome checks.
+func EvalMany(p Poly, xs []field.Element) []field.Element {
+	out := make([]field.Element, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	xv := field.AcquireVec(len(xs))
+	acc := field.AcquireVec(len(xs))
+	defer field.ReleaseVec(xv)
+	defer field.ReleaseVec(acc)
+	for i, x := range xs {
+		xv[i] = uint64(x)
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		field.HornerStepVec(acc, xv, uint64(p[i]))
+	}
+	field.FromVec(out, acc)
+	return out
 }
 
 // Constant returns p(0), the constant term.
@@ -107,21 +153,47 @@ func (p Poly) Sub(q Poly) Poly {
 	return out.trim()
 }
 
-// Mul returns p * q (schoolbook multiplication; polynomial degrees in this
-// repository are tiny, so no FFT is needed).
+// nttMulMin is the product length at which Mul switches from schoolbook
+// to the GF(p^2) NTT. Below it the O(d^2) inner loop wins on constants;
+// protocol-sized polynomials (degree <= a few dozen) always stay
+// schoolbook.
+const nttMulMin = 128
+
+// Mul returns p * q. Small products use schoolbook multiplication;
+// products of nttMulMin coefficients or more go through the O(n log n)
+// extension-field NTT (see field.NTTMul).
 func (p Poly) Mul(q Poly) Poly {
 	if p.IsZero() || q.IsZero() {
 		return nil
 	}
-	out := make(Poly, len(p)+len(q)-1)
-	for i, a := range p {
-		if a == 0 {
-			continue
-		}
-		for j, b := range q {
-			out[i+j] = out[i+j].Add(a.Mul(b))
-		}
+	if useRef.Load() {
+		return p.mulSchoolbook(q)
 	}
+	outLen := len(p) + len(q) - 1
+	if outLen < nttMulMin || field.NTTSize(outLen) == 0 {
+		return p.mulSchoolbook(q)
+	}
+	return p.mulNTT(q)
+}
+
+// mulNTT multiplies via the extension-field transform.
+func (p Poly) mulNTT(q Poly) Poly {
+	outLen := len(p) + len(q) - 1
+	av := field.AcquireVec(len(p))
+	bv := field.AcquireVec(len(q))
+	ov := field.AcquireVec(outLen)
+	defer field.ReleaseVec(av)
+	defer field.ReleaseVec(bv)
+	defer field.ReleaseVec(ov)
+	for i, c := range p {
+		av[i] = uint64(c)
+	}
+	for i, c := range q {
+		bv[i] = uint64(c)
+	}
+	field.NTTMul(ov, av, bv)
+	out := make(Poly, outLen)
+	field.FromVec(out, ov)
 	return out.trim()
 }
 
@@ -186,65 +258,148 @@ type Point struct {
 	X, Y field.Element
 }
 
+// dupXErr reproduces the reference error for a duplicate X coordinate:
+// the reported coordinate is points[i].X for the smallest i that appears
+// in any duplicate pair.
+func dupXErr(points []Point) error {
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			if points[i].X == points[j].X {
+				return fmt.Errorf("poly: duplicate x coordinate %v", points[i].X)
+			}
+		}
+	}
+	return fmt.Errorf("poly: duplicate x coordinate not found")
+}
+
 // Interpolate returns the unique polynomial of degree < len(points) passing
 // through all points, via Lagrange interpolation. The X coordinates must be
 // distinct; otherwise an error is returned.
+//
+// Kernel algorithm (O(n^2) multiplications, one field inversion): build
+// the master polynomial M(x) = prod_i (x - x_i) once, obtain each scaled
+// basis polynomial M/(x - x_i) by synthetic division, read the
+// denominators off M'(x_i) with a batched multi-point evaluation, and
+// invert them all with one Montgomery batch inversion.
 func Interpolate(points []Point) (Poly, error) {
+	if useRef.Load() {
+		return interpolateRef(points)
+	}
 	n := len(points)
 	if n == 0 {
 		return nil, nil
 	}
+	xs := field.AcquireVec(n)
+	defer field.ReleaseVec(xs)
+	for i, pt := range points {
+		xs[i] = uint64(pt.X)
+	}
+
+	// Master polynomial M(x) = prod (x - x_i), coefficients m[0..n].
+	m := field.AcquireVec(n + 1)
+	defer field.ReleaseVec(m)
+	m[0] = 1
+	for deg, xi := range xs {
+		m[deg+1] = m[deg]
+		for j := deg; j >= 1; j-- {
+			m[j] = subU(m[j-1], mulU(xi, m[j]))
+		}
+		m[0] = negU(mulU(xi, m[0]))
+	}
+
+	// Denominators d_i = M'(x_i) = prod_{j != i} (x_i - x_j), evaluated
+	// for all i at once; a zero denominator means a duplicated x.
+	dm := field.AcquireVec(n)
+	dens := field.AcquireVec(n)
+	defer field.ReleaseVec(dm)
+	defer field.ReleaseVec(dens)
+	for j := 0; j < n; j++ {
+		dm[j] = mulU(uint64(field.New(uint64(j+1))), m[j+1])
+	}
+	for j := n - 1; j >= 0; j-- {
+		field.HornerStepVec(dens, xs, dm[j])
+	}
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if points[i].X == points[j].X {
-				return nil, fmt.Errorf("poly: duplicate x coordinate %v", points[i].X)
-			}
+		if dens[i] == 0 {
+			return nil, dupXErr(points)
 		}
 	}
-	result := Poly(nil)
+	field.InvVec(dens, dens)
+
+	// result = sum_i y_i * d_i^-1 * M/(x - x_i), with the quotient from
+	// synthetic division reused out of one scratch slice.
+	res := field.AcquireVec(n)
+	q := field.AcquireVec(n)
+	defer field.ReleaseVec(res)
+	defer field.ReleaseVec(q)
 	for i := 0; i < n; i++ {
-		// Build the i-th Lagrange basis polynomial L_i, scaled by y_i.
-		basis := New(1)
-		denom := field.Element(1)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			// basis *= (x - x_j)
-			basis = basis.Mul(Poly{points[j].X.Neg(), 1})
-			denom = denom.Mul(points[i].X.Sub(points[j].X))
+		xi := xs[i]
+		q[n-1] = m[n]
+		for j := n - 2; j >= 0; j-- {
+			q[j] = addU(m[j+1], mulU(xi, q[j+1]))
 		}
-		scale := points[i].Y.Div(denom)
-		result = result.Add(basis.MulScalar(scale))
+		field.ScalarMulAddVec(res, q, mulU(uint64(points[i].Y), dens[i]))
 	}
-	return result, nil
+	out := make(Poly, n)
+	field.FromVec(out, res)
+	return out.trim(), nil
 }
 
 // EvalAt interpolates through points and evaluates at x without building
 // the full polynomial (barycentric-style evaluation). It is equivalent to
 // Interpolate(points).Eval(x) but cheaper. X coordinates must be distinct.
+//
+// The kernel path computes the numerators prod_{j != i} (x - x_j) from
+// prefix/suffix products and inverts all denominators in one batch.
 func EvalAt(points []Point, x field.Element) (field.Element, error) {
+	if useRef.Load() {
+		return evalAtRef(points, x)
+	}
 	n := len(points)
 	if n == 0 {
 		return 0, nil
 	}
-	var acc field.Element
+	xs := field.AcquireVec(n)
+	dens := field.AcquireVec(n)
+	pre := field.AcquireVec(n + 1)
+	suf := field.AcquireVec(n + 1)
+	defer field.ReleaseVec(xs)
+	defer field.ReleaseVec(dens)
+	defer field.ReleaseVec(pre)
+	defer field.ReleaseVec(suf)
+	for i, pt := range points {
+		xs[i] = uint64(pt.X)
+	}
 	for i := 0; i < n; i++ {
-		num := field.Element(1)
-		den := field.Element(1)
+		d := uint64(1)
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			if points[i].X == points[j].X {
-				return 0, fmt.Errorf("poly: duplicate x coordinate %v", points[i].X)
+			t := subU(xs[i], xs[j])
+			if t == 0 {
+				return 0, dupXErr(points)
 			}
-			num = num.Mul(x.Sub(points[j].X))
-			den = den.Mul(points[i].X.Sub(points[j].X))
+			d = mulU(d, t)
 		}
-		acc = acc.Add(points[i].Y.Mul(num.Div(den)))
+		dens[i] = d
 	}
-	return acc, nil
+	field.InvVec(dens, dens)
+	xv := uint64(x)
+	pre[0] = 1
+	for i := 0; i < n; i++ {
+		pre[i+1] = mulU(pre[i], subU(xv, xs[i]))
+	}
+	suf[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		suf[i] = mulU(suf[i+1], subU(xv, xs[i]))
+	}
+	var acc uint64
+	for i := 0; i < n; i++ {
+		num := mulU(pre[i], suf[i+1])
+		acc = addU(acc, mulU(uint64(points[i].Y), mulU(num, dens[i])))
+	}
+	return field.Element(acc), nil
 }
 
 // LagrangeCoeffsAtZero returns the Lagrange recombination coefficients
@@ -252,23 +407,54 @@ func EvalAt(points []Point, x field.Element) (field.Element, error) {
 // degree < len(xs). These are the classic Shamir reconstruction weights and
 // the BGW degree-reduction weights. X coordinates must be distinct and
 // non-zero.
+//
+// The kernel path reads the numerators prod_{j != i} x_j off prefix and
+// suffix products and inverts every denominator with one batch inversion.
 func LagrangeCoeffsAtZero(xs []field.Element) ([]field.Element, error) {
+	if useRef.Load() {
+		return lagrangeCoeffsAtZeroRef(xs)
+	}
 	n := len(xs)
 	out := make([]field.Element, n)
+	if n == 0 {
+		return out, nil
+	}
+	xv := field.AcquireVec(n)
+	dens := field.AcquireVec(n)
+	pre := field.AcquireVec(n + 1)
+	suf := field.AcquireVec(n + 1)
+	defer field.ReleaseVec(xv)
+	defer field.ReleaseVec(dens)
+	defer field.ReleaseVec(pre)
+	defer field.ReleaseVec(suf)
+	for i, x := range xs {
+		xv[i] = uint64(x)
+	}
 	for i := 0; i < n; i++ {
-		num := field.Element(1)
-		den := field.Element(1)
+		d := uint64(1)
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			if xs[i] == xs[j] {
+			t := subU(xv[j], xv[i])
+			if t == 0 {
 				return nil, fmt.Errorf("poly: duplicate x coordinate %v", xs[i])
 			}
-			num = num.Mul(xs[j])            // (0 - x_j) up to sign...
-			den = den.Mul(xs[j].Sub(xs[i])) // ...matching sign in denominator
+			d = mulU(d, t)
 		}
-		out[i] = num.Div(den)
+		dens[i] = d
+	}
+	field.InvVec(dens, dens)
+	pre[0] = 1
+	for i := 0; i < n; i++ {
+		pre[i+1] = mulU(pre[i], xv[i])
+	}
+	suf[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		suf[i] = mulU(suf[i+1], xv[i])
+	}
+	for i := 0; i < n; i++ {
+		out[i] = field.Element(mulU(mulU(pre[i], suf[i+1]), dens[i]))
 	}
 	return out, nil
 }
@@ -280,24 +466,25 @@ func LagrangeCoeffsAtZero(xs []field.Element) ([]field.Element, error) {
 // can cross-check consistency because F(i, j) = F(j, i).
 type Bivariate struct {
 	t     int
-	coeff [][]field.Element // coeff[a][b] of x^a y^b, symmetric
+	coeff []field.Vec // coeff[a][b] of x^a y^b, symmetric, raw limbs
 }
 
 // NewBivariate returns a uniformly random symmetric bivariate polynomial of
 // degree at most t in each variable with F(0,0) = secret.
 func NewBivariate(rng *rand.Rand, t int, secret field.Element) *Bivariate {
-	c := make([][]field.Element, t+1)
+	c := make([]field.Vec, t+1)
+	backing := make(field.Vec, (t+1)*(t+1))
 	for a := range c {
-		c[a] = make([]field.Element, t+1)
+		c[a] = backing[a*(t+1) : (a+1)*(t+1)]
 	}
 	for a := 0; a <= t; a++ {
 		for b := a; b <= t; b++ {
-			v := field.Rand(rng)
+			v := uint64(field.Rand(rng))
 			c[a][b] = v
 			c[b][a] = v
 		}
 	}
-	c[0][0] = secret
+	c[0][0] = uint64(secret)
 	return &Bivariate{t: t, coeff: c}
 }
 
@@ -305,20 +492,46 @@ func NewBivariate(rng *rand.Rand, t int, secret field.Element) *Bivariate {
 func (f *Bivariate) Degree() int { return f.t }
 
 // Secret returns F(0, 0).
-func (f *Bivariate) Secret() field.Element { return f.coeff[0][0] }
+func (f *Bivariate) Secret() field.Element { return field.Element(f.coeff[0][0]) }
+
+// rowInto accumulates F(x0, ·) into acc (length t+1, zeroed by caller):
+// acc[b] = sum_a coeff[a][b] * x0^a, one fused scalar-multiply-add sweep
+// per x power.
+func (f *Bivariate) rowInto(acc field.Vec, x0 uint64) {
+	xp := uint64(1)
+	for a := 0; a <= f.t; a++ {
+		field.ScalarMulAddVec(acc, f.coeff[a], xp)
+		xp = mulU(xp, x0)
+	}
+}
 
 // Row returns the univariate slice F(x0, ·) as a Poly in y.
 func (f *Bivariate) Row(x0 field.Element) Poly {
+	acc := field.AcquireVec(f.t + 1)
+	defer field.ReleaseVec(acc)
+	f.rowInto(acc, uint64(x0))
 	out := make(Poly, f.t+1)
-	// out[b] = sum_a coeff[a][b] * x0^a
-	xp := field.Element(1)
-	for a := 0; a <= f.t; a++ {
-		for b := 0; b <= f.t; b++ {
-			out[b] = out[b].Add(f.coeff[a][b].Mul(xp))
-		}
-		xp = xp.Mul(x0)
-	}
+	field.FromVec(out, acc)
 	return out.trim()
+}
+
+// Rows returns the dealing rows F(i+1, ·) for parties i = 0..n-1 in one
+// batched pass over a single backing allocation — the amortized form of
+// Row that package avss uses to deal all n shares at once.
+func (f *Bivariate) Rows(n int) []Poly {
+	w := f.t + 1
+	backing := make([]field.Element, n*w)
+	acc := field.AcquireVec(w)
+	defer field.ReleaseVec(acc)
+	out := make([]Poly, n)
+	for i := 0; i < n; i++ {
+		clear(acc)
+		f.rowInto(acc, uint64(i+1))
+		row := backing[i*w : (i+1)*w]
+		field.FromVec(row, acc)
+		out[i] = Poly(row).trim()
+	}
+	return out
 }
 
 // Eval evaluates F at (x, y).

@@ -1,0 +1,140 @@
+package shamir
+
+import (
+	"math/rand"
+	"testing"
+
+	"asyncmediator/internal/field"
+	"asyncmediator/internal/poly"
+	"asyncmediator/internal/rs"
+)
+
+// withScalarRefs runs f with both the poly and rs scalar reference
+// implementations active — the "pre kernel swap" configuration.
+func withScalarRefs(f func()) {
+	poly.UseReference(true)
+	rs.UseReference(true)
+	defer poly.UseReference(false)
+	defer rs.UseReference(false)
+	f()
+}
+
+// TestReconstructKernelVsRef checks that plain reconstruction returns
+// identical results and errors on both paths.
+func TestReconstructKernelVsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, tc := range []struct{ n, t int }{{4, 1}, {7, 2}, {16, 5}, {33, 10}} {
+		secret := field.Rand(rng)
+		shares, err := Split(rng, secret, tc.n, tc.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotErr := Reconstruct(shares, tc.t)
+		var want field.Element
+		var wantErr error
+		withScalarRefs(func() { want, wantErr = Reconstruct(shares, tc.t) })
+		if (gotErr == nil) != (wantErr == nil) || got != want {
+			t.Fatalf("n=%d t=%d: kernel (%v,%v) ref (%v,%v)", tc.n, tc.t, got, gotErr, want, wantErr)
+		}
+		if got != secret {
+			t.Fatalf("n=%d t=%d: reconstructed %v want %v", tc.n, tc.t, got, secret)
+		}
+	}
+}
+
+// TestRobustReconstructKernelVsRef corrupts up to maxBad shares in every
+// pattern the rng produces and demands the kernel and reference paths
+// return identical secrets and identical failures.
+func TestRobustReconstructKernelVsRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(20)
+		tDeg := rng.Intn(n / 3)
+		maxBad := rng.Intn(tDeg + 2)
+		secret := field.Rand(rng)
+		shares, err := Split(rng, secret, n, tDeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nbad := rng.Intn(maxBad + 1)
+		perm := rng.Perm(n)
+		for i := 0; i < nbad; i++ {
+			shares[perm[i]].Y = shares[perm[i]].Y.Add(field.RandNonZero(rng))
+		}
+		got, gotErr := RobustReconstruct(shares, tDeg, maxBad)
+		var want field.Element
+		var wantErr error
+		withScalarRefs(func() { want, wantErr = RobustReconstruct(shares, tDeg, maxBad) })
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("trial %d (n=%d t=%d bad=%d/%d): kernel err=%v ref err=%v",
+				trial, n, tDeg, nbad, maxBad, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: kernel %v ref %v", trial, got, want)
+		}
+		if len(shares)-nbad >= tDeg+maxBad+1 && got != secret {
+			t.Fatalf("trial %d: reconstructed %v want %v", trial, got, secret)
+		}
+	}
+}
+
+// --- kernel benchmarks -------------------------------------------------
+
+func benchShares(b *testing.B, n, t, nbad int) []Share {
+	rng := rand.New(rand.NewSource(80))
+	shares, err := Split(rng, 424242, n, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nbad; i++ {
+		shares[i].Y = shares[i].Y.Add(1)
+	}
+	return shares
+}
+
+func BenchmarkReconstruct32(b *testing.B) {
+	shares := benchShares(b, 32, 10, 0)
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Reconstruct(shares, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		poly.UseReference(true)
+		defer poly.UseReference(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Reconstruct(shares, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRobustReconstruct32(b *testing.B) {
+	shares := benchShares(b, 32, 7, 7)
+	b.Run("kernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RobustReconstruct(shares, 7, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		poly.UseReference(true)
+		rs.UseReference(true)
+		defer poly.UseReference(false)
+		defer rs.UseReference(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RobustReconstruct(shares, 7, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"asyncmediator/internal/poly"
+	"asyncmediator/internal/rs"
+)
+
+// TestKernelVsReferenceByteIdentical is the whole-system differential
+// check for the batched field kernels: the experiment suite must produce
+// byte-identical JSON reports whether the protocol stack runs on the
+// field.Vec kernel paths (the default) or on the retained scalar
+// reference implementations in poly and rs ("pre kernel swap"). Any
+// divergence — a different interpolant, a different decode outcome, even
+// a different error string — changes a report byte and fails here.
+func TestKernelVsReferenceByteIdentical(t *testing.T) {
+	ids := []string{"e1", "e5", "e6", "e7", "e8"}
+	o := Options{Trials: 6, Seed0: 7, MaxSteps: 30_000_000}
+
+	sweep := func() []byte {
+		t.Helper()
+		e := NewEngine(4)
+		defer e.Close()
+		rep, err := e.Sweep(ids, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	kernel := sweep()
+
+	poly.UseReference(true)
+	rs.UseReference(true)
+	defer poly.UseReference(false)
+	defer rs.UseReference(false)
+	reference := sweep()
+
+	if !bytes.Equal(kernel, reference) {
+		t.Fatalf("kernel and reference reports differ:\n--- kernel ---\n%s\n--- reference ---\n%s",
+			kernel, reference)
+	}
+}
