@@ -37,6 +37,7 @@ func Routes() []Route {
 		{Method: "POST", Path: "/cluster/join", Summary: "co-host a play: bind transport listeners for the named players (body: ClusterJoinRequest)"},
 		{Method: "POST", Path: "/cluster/start", Summary: "run the co-hosted players to termination with the full address table (body: ClusterStartRequest)"},
 		{Method: "POST", Path: "/cluster/finish", Summary: "release a finished play's lingering transports once the coordinator gathered every outcome (body: ClusterFinishRequest)"},
+		{Method: "GET", Path: "/cluster/fleet", Summary: "this daemon's gossip-derived view of the whole fleet: per-peer health, liveness judgements, firing alerts (FleetView)"},
 		{Method: "GET", Path: "/stats", Summary: "farm-wide aggregate statistics (Stats)"},
 		{Method: "GET", Path: "/metrics", Summary: "Prometheus text exposition", Unversioned: true},
 		{Method: "GET", Path: "/healthz", Summary: "liveness: the process is up", Unversioned: true},

@@ -25,6 +25,9 @@
 //	obs              fleet observability summary: cluster link counters,
 //	                 worker-pool load, durable-store health
 //	events tail      stream state transitions (-session -kind) as JSON lines
+//	cluster status   fleet table from the daemon's gossip view: per-peer
+//	                 liveness, load, and firing alerts (-watch refreshes,
+//	                 -json prints the raw FleetView)
 //	cluster drop     sever live cluster transport conns (daemon runs -chaos)
 //	ready            readiness probe (exit 1 when not ready)
 //	apidoc           print the generated /v1 API reference (markdown)
@@ -114,7 +117,7 @@ var errUsage = errors.New("usage")
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
 	fmt.Fprintln(w, "commands: session create|get|list|types|watch|trace, experiment list|run|get,")
-	fmt.Fprintln(w, "          stats, obs, events tail, cluster drop, ready, apidoc")
+	fmt.Fprintln(w, "          stats, obs, events tail, cluster status|drop, ready, apidoc")
 	fmt.Fprintln(w, "flags:")
 	fs.PrintDefaults()
 }
@@ -178,14 +181,21 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 		}
 		return eventsTail(ctx, c, args[2:], stdout, stderr)
 	case "cluster":
-		if len(args) < 2 || args[1] != "drop" {
-			return bad("cluster needs the drop verb (fault injection; daemon must run -chaos)")
+		if len(args) < 2 {
+			return bad("cluster needs a verb: status|drop")
 		}
-		n, err := c.ClusterDrop(ctx)
-		if err != nil {
-			return err
+		switch args[1] {
+		case "status":
+			return clusterStatus(ctx, c, args[2:], stdout, stderr)
+		case "drop":
+			n, err := c.ClusterDrop(ctx)
+			if err != nil {
+				return err
+			}
+			return printJSON(stdout, map[string]int{"dropped": n})
+		default:
+			return bad("unknown cluster verb %q (want status or drop)", args[1])
 		}
-		return printJSON(stdout, map[string]int{"dropped": n})
 	case "ready":
 		if err := c.Ready(ctx); err != nil {
 			return err
@@ -508,11 +518,16 @@ func fmtAttrs(attrs map[string]string) string {
 
 // obsSummary prints the fleet-observability slice of /v1/stats: the
 // cluster link counters, worker-pool load, and durable-store health
-// that the full stats dump buries under play statistics.
+// that the full stats dump buries under play statistics. A daemon that
+// never clustered is said so explicitly rather than silently omitted.
 func obsSummary(ctx context.Context, c *client.Client, stdout io.Writer) error {
 	st, err := c.Stats(ctx)
 	if err != nil {
 		return err
+	}
+	clusterNote := ""
+	if st.Cluster == nil {
+		clusterNote = "no cluster transport (this daemon has not clustered)"
 	}
 	return printJSON(stdout, struct {
 		UptimeSeconds      float64               `json:"uptime_seconds"`
@@ -521,6 +536,7 @@ func obsSummary(ctx context.Context, c *client.Client, stdout io.Writer) error {
 		ShedIntervals      int64                 `json:"shed_intervals,omitempty"`
 		ClusterPlaysHosted int64                 `json:"cluster_plays_hosted,omitempty"`
 		Cluster            *api.ClusterLinkStats `json:"cluster,omitempty"`
+		ClusterNote        string                `json:"cluster_note,omitempty"`
 		Pool               *api.PoolStats        `json:"pool,omitempty"`
 		Store              *api.StoreStats       `json:"store,omitempty"`
 	}{
@@ -530,9 +546,94 @@ func obsSummary(ctx context.Context, c *client.Client, stdout io.Writer) error {
 		ShedIntervals:      st.ShedIntervals,
 		ClusterPlaysHosted: st.ClusterPlaysHosted,
 		Cluster:            st.Cluster,
+		ClusterNote:        clusterNote,
 		Pool:               st.Pool,
 		Store:              st.Store,
 	})
+}
+
+// clusterStatus renders the daemon's fleet view as a live operator
+// table: one row per fleet slot with liveness, generation, and load.
+func clusterStatus(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cluster status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	raw := fs.Bool("json", false, "print the raw FleetView instead of the table")
+	watch := fs.Duration("watch", 0, "refresh the table every interval until interrupted (e.g. -watch 1s)")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	for {
+		v, err := c.FleetStatus(ctx)
+		if err != nil {
+			return err
+		}
+		if *raw {
+			if err := printJSON(stdout, v); err != nil {
+				return err
+			}
+		} else {
+			renderFleet(stdout, v)
+		}
+		if *watch <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*watch):
+		}
+		fmt.Fprintln(stdout)
+	}
+}
+
+// renderFleet prints one FleetView as a header line, a tabwriter table,
+// and the firing alerts.
+func renderFleet(w io.Writer, v api.FleetView) {
+	fmt.Fprintf(w, "fleet: %d/%d healthy", v.Healthy, v.Size)
+	if v.Suspect > 0 {
+		fmt.Fprintf(w, ", %d suspect", v.Suspect)
+	}
+	if v.Expired > 0 {
+		fmt.Fprintf(w, ", %d expired", v.Expired)
+	}
+	if v.Unknown > 0 {
+		fmt.Fprintf(w, ", %d unknown", v.Unknown)
+	}
+	if v.Floor > 0 {
+		fmt.Fprintf(w, " (floor %d)", v.Floor)
+	}
+	fmt.Fprintf(w, "; gossip every %s, %d rounds, %d entries merged\n",
+		time.Duration(v.GossipIntervalMS)*time.Millisecond, v.GossipRounds, v.EntriesMerged)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "IDX\tADDR\tSTATE\tGEN\tSILENT\tQUEUE\tSHED\tSESSIONS\tSTORE\tREDIALS\tP99")
+	for _, p := range v.Peers {
+		addr := p.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		if p.Self {
+			addr += " (self)"
+		}
+		shed := "-"
+		if p.Shedding {
+			shed = "yes"
+		}
+		silent := "-"
+		if p.State != api.FleetPeerUnknown {
+			silent = (time.Duration(p.SilentForMS) * time.Millisecond).String()
+		}
+		p99 := "-"
+		if p.PhaseP99MS > 0 {
+			p99 = fmt.Sprintf("%.2fms", p.PhaseP99MS)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%s\n",
+			p.Index, addr, p.State, p.Gen, silent, p.QueueDepth, shed,
+			p.LiveSessions, p.StoreKeys, p.Redials, p99)
+	}
+	tw.Flush()
+	for _, a := range v.Alerts {
+		fmt.Fprintf(w, "ALERT %s: %s\n", a.Rule, a.Message)
+	}
 }
 
 func experimentRun(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
@@ -606,7 +707,7 @@ func eventsTail(ctx context.Context, c *client.Client, args []string, stdout, st
 	fs := flag.NewFlagSet("events tail", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	session := fs.String("session", "", "narrow to one session id")
-	kind := fs.String("kind", "", "narrow to one namespace: session or experiment")
+	kind := fs.String("kind", "", "narrow to one namespace: session, experiment, or fleet")
 	count := fs.Int("n", 0, "exit after N events (0: stream until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return errUsage

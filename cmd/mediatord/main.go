@@ -49,6 +49,16 @@
 //	    -peer 2=http://10.0.0.2:8081 -peer 3=http://10.0.0.2:8081 \
 //	    -types 0,0,0,0 -watch
 //
+// Fleet telemetry: daemons gossip signed health summaries to each other
+// and each one can answer for the whole fleet (every daemon gets the
+// same sorted -fleet-peers table, its own -fleet-listen verbatim in it):
+//
+//	mediatord -addr :8080 -fleet-listen 127.0.0.1:9100 \
+//	    -fleet-peers 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 -fleet-floor 3 &
+//	mediatorctl cluster status -watch        # live fleet table
+//	mediatorctl events tail -kind fleet      # alert-rule transitions
+//	curl -s localhost:8080/v1/cluster/fleet  # the raw FleetView
+//
 // Or measure throughput without the HTTP layer:
 //
 //	mediatord -bench 512 -workers 8
@@ -64,10 +74,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"asyncmediator/internal/service"
@@ -96,6 +108,12 @@ func run(args []string) error {
 	tlsKey := fs.String("tls-key", "", "PEM private key paired with -tls-cert")
 	tlsCA := fs.String("tls-ca", "", "PEM CA bundle both sides of every cluster connection verify against")
 	readyWatermark := fs.Int("ready-watermark", 0, "queue depth at or above which GET /readyz sheds load with 503 (0: disabled)")
+	fleetListen := fs.String("fleet-listen", "", "host:port this daemon's fleet-gossip listener binds; enables the fleet telemetry plane")
+	fleetPeers := fs.String("fleet-peers", "", "comma-separated gossip address table of the WHOLE fleet, -fleet-listen included verbatim")
+	advertiseURL := fs.String("advertise-url", "", "API base URL gossiped to peers so fleet views name this daemon (default: derived from -addr)")
+	gossipInterval := fs.Duration("gossip-interval", 0, "fleet health-gossip period (0: 1s); suspicion is 3x, expiry 10x")
+	fleetFloor := fs.Int("fleet-floor", 0, "healthy-daemon minimum (the n > 4k+3t bound); fewer fires the fleet_floor alert (0: disabled)")
+	fleetSecret := fs.String("fleet-secret", "", "shared HMAC key signing gossip digests; unsigned digests are rejected when set")
 	chaos := fs.Bool("chaos", false, "mount POST /v1/cluster/drop, the fault-injection hook severing live cluster connections (testing only)")
 	pprofListen := fs.String("pprof-listen", "", "bind net/http/pprof on this separate address (empty: disabled; keep it off public interfaces)")
 	noTrace := fs.Bool("no-trace", false, "disable per-play trace collection (GET /v1/sessions/{id}/trace answers 404)")
@@ -161,6 +179,33 @@ func run(args []string) error {
 		ReadyWatermark:  *readyWatermark,
 		EnableChaos:     *chaos,
 		DisableTracing:  *noTrace,
+		FleetListen:     *fleetListen,
+		AdvertiseURL:    *advertiseURL,
+		GossipInterval:  *gossipInterval,
+		FleetFloor:      *fleetFloor,
+		FleetSecret:     *fleetSecret,
+	}
+	if *fleetPeers != "" {
+		for _, p := range strings.Split(*fleetPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.FleetPeers = append(cfg.FleetPeers, p)
+			}
+		}
+	}
+	if cfg.AdvertiseURL == "" && cfg.FleetListen != "" {
+		// Best-effort default: peers reach the API on this host at -addr's
+		// port. Operators behind NAT or a LB should set -advertise-url.
+		host, _, err := net.SplitHostPort(cfg.FleetListen)
+		if err != nil || host == "" {
+			host = "127.0.0.1"
+		}
+		port := *addr
+		if _, p, err := net.SplitHostPort(*addr); err == nil {
+			port = p
+		} else {
+			port = strings.TrimPrefix(port, ":")
+		}
+		cfg.AdvertiseURL = "http://" + net.JoinHostPort(host, port)
 	}
 	if !*quiet {
 		cfg.RequestLog = log.Printf

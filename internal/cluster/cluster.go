@@ -64,6 +64,12 @@ type Config struct {
 	// play's distributed trace is visible at the transport layer; peers
 	// that predate the field ignore it.
 	TraceID string
+	// GossipHandler, when set, receives every inbound GOSSIP payload.
+	// It runs on the stream's read goroutine, so it must be fast and
+	// never block; heavy work belongs on the receiver's own goroutine.
+	// Peers that predate the GOSSIP kind skip the frames silently, so a
+	// mixed-generation mesh degrades to "no gossip", not to errors.
+	GossipHandler func(from int, payload []byte)
 }
 
 func (c *Config) normalize() error {
@@ -114,11 +120,18 @@ type Stats struct {
 	// outbound links.
 	Acks int64
 	// FramesIn/FramesOut and BytesIn/BytesOut count steady-state traffic
-	// (DATA and ACK frames, header included; handshakes excluded).
+	// (DATA, ACK, and GOSSIP frames, header included; handshakes
+	// excluded).
 	FramesIn  int64
 	FramesOut int64
 	BytesIn   int64
 	BytesOut  int64
+	// GossipSent/GossipReceived count best-effort GOSSIP frames written
+	// and dispatched; GossipDropped counts digests discarded because a
+	// link's gossip lane was full (dead or slow peer).
+	GossipSent     int64
+	GossipReceived int64
+	GossipDropped  int64
 	// QueueLen is the instantaneous sum of unsent payloads across the
 	// per-peer outbound queues.
 	QueueLen int
@@ -156,6 +169,7 @@ type Transport struct {
 	reconnects, dialErrs, rejected, chaosDrop atomic.Int64
 	acks, framesIn, framesOut                 atomic.Int64
 	bytesIn, bytesOut                         atomic.Int64
+	gossipSent, gossipIn, gossipDropped       atomic.Int64
 
 	// peerTraceID remembers the last trace id announced by an inbound
 	// HELLO (string; empty until a tracing peer connects).
@@ -248,6 +262,36 @@ func (t *Transport) Send(to int, payload []byte) {
 	t.links[to].enqueue(payload)
 }
 
+// Gossip enqueues one best-effort payload for a peer. It never blocks:
+// a full gossip lane (dead or slow peer) drops the payload and reports
+// false. Loopback sends dispatch straight to the handler. Delivery has
+// no ordering or exactly-once guarantee — callers are expected to
+// re-gossip periodically, so any single lost frame costs one interval.
+func (t *Transport) Gossip(to int, payload []byte) bool {
+	if to < 0 || to >= t.cfg.N {
+		return false
+	}
+	select {
+	case <-t.done:
+		return false
+	default:
+	}
+	if to == t.cfg.Self {
+		if fn := t.cfg.GossipHandler; fn != nil {
+			t.gossipSent.Add(1)
+			t.gossipIn.Add(1)
+			fn(t.cfg.Self, payload)
+			return true
+		}
+		return false
+	}
+	if !t.links[to].enqueueGossip(payload) {
+		t.gossipDropped.Add(1)
+		return false
+	}
+	return true
+}
+
 // Inbox is the delivery channel: every frame exactly once, in per-stream
 // order. The channel is never closed; consumers should also select on
 // their own shutdown signal.
@@ -269,6 +313,10 @@ func (t *Transport) Stats() Stats {
 		FramesOut:    t.framesOut.Load(),
 		BytesIn:      t.bytesIn.Load(),
 		BytesOut:     t.bytesOut.Load(),
+
+		GossipSent:     t.gossipSent.Load(),
+		GossipReceived: t.gossipIn.Load(),
+		GossipDropped:  t.gossipDropped.Load(),
 	}
 	for _, l := range t.links {
 		if l == nil {
@@ -423,6 +471,13 @@ func (t *Transport) serveInbound(conn net.Conn) {
 		}
 		t.framesIn.Add(1)
 		t.bytesIn.Add(int64(5 + len(body)))
+		if kind == kindGossip {
+			t.gossipIn.Add(1)
+			if fn := t.cfg.GossipHandler; fn != nil {
+				fn(h.From, body)
+			}
+			continue // unsequenced: no ack, no dedup cursor
+		}
 		if kind != kindData {
 			continue // tolerate unknown-but-framed kinds from newer peers
 		}

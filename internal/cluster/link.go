@@ -21,9 +21,10 @@ type dataFrame struct {
 // dead peer backpressures only its own stream; no global mutex
 // serializes writes to unrelated peers.
 type link struct {
-	t     *Transport
-	to    int
-	queue chan []byte
+	t      *Transport
+	to     int
+	queue  chan []byte
+	gossip chan []byte // best-effort lane; dropped, never backpressured
 
 	mu      sync.Mutex
 	addr    string
@@ -34,11 +35,17 @@ type link struct {
 	addrOnce  sync.Once
 }
 
+// gossipQueueDepth bounds the per-link best-effort lane. Gossip is
+// periodic and self-healing, so a handful of buffered digests is plenty;
+// anything beyond that is stale by construction and better dropped.
+const gossipQueueDepth = 8
+
 func newLink(t *Transport, to, depth int) *link {
 	return &link{
 		t:         t,
 		to:        to,
 		queue:     make(chan []byte, depth),
+		gossip:    make(chan []byte, gossipQueueDepth),
 		addrKnown: make(chan struct{}),
 	}
 }
@@ -65,6 +72,18 @@ func (l *link) enqueue(payload []byte) {
 	select {
 	case l.queue <- payload:
 	case <-l.t.done:
+	}
+}
+
+// enqueueGossip adds one payload to the best-effort lane. Unlike enqueue
+// it never blocks: a full lane (dead or slow peer) drops the digest and
+// reports false — the next gossip interval carries fresher state anyway.
+func (l *link) enqueueGossip(payload []byte) bool {
+	select {
+	case l.gossip <- payload:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -206,6 +225,15 @@ func (l *link) serve(conn net.Conn, cursor uint64) {
 			}
 			l.t.framesOut.Add(1)
 			l.t.bytesOut.Add(int64(5 + 8 + len(f.payload)))
+		case payload := <-l.gossip:
+			// Best effort: no sequence number, no resend buffer. A write
+			// error just drops the digest along with the connection.
+			if err := writeRaw(conn, kindGossip, payload); err != nil {
+				return
+			}
+			l.t.gossipSent.Add(1)
+			l.t.framesOut.Add(1)
+			l.t.bytesOut.Add(int64(5 + len(payload)))
 		case <-broken:
 			return
 		case <-l.t.done:

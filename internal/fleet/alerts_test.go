@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// mkView builds a minimal 3-peer view (self = 0) for engine unit tests.
+func mkView(states []State, mutate func(v *View)) View {
+	v := View{
+		Self: 0, N: len(states),
+		Interval:     time.Second,
+		SuspectAfter: 3 * time.Second,
+		ExpireAfter:  10 * time.Second,
+		Peers:        make([]PeerView, len(states)),
+	}
+	for i, st := range states {
+		v.Peers[i] = PeerView{State: st, Self: i == 0}
+		v.Peers[i].Index = i
+		v.Peers[i].Gen = 1
+		switch st {
+		case StateHealthy:
+			v.Healthy++
+		case StateSuspect:
+			v.Suspect++
+		case StateExpired:
+			v.Expired++
+		default:
+			v.Unknown++
+		}
+	}
+	if mutate != nil {
+		mutate(&v)
+	}
+	return v
+}
+
+func collectAlerts(e *engine, views ...View) []Alert {
+	var got []Alert
+	e.cfg.emit = func(a Alert) { got = append(got, a) }
+	for _, v := range views {
+		e.evaluate(v)
+	}
+	return got
+}
+
+func TestEngineEdgeTriggeredSilence(t *testing.T) {
+	e := newEngine(engineConfig{n: 3, self: 0})
+	healthy := mkView([]State{StateHealthy, StateHealthy, StateHealthy}, nil)
+	suspect := mkView([]State{StateHealthy, StateHealthy, StateSuspect}, nil)
+
+	got := collectAlerts(e, healthy, suspect, suspect, suspect, healthy)
+	want := []struct {
+		rule    string
+		cleared bool
+	}{
+		{RulePeerSilent, false}, // fires once, not per interval
+		{RulePeerSilent, true},  // clears on recovery
+	}
+	if len(got) != len(want) {
+		t.Fatalf("alerts %+v, want %d transitions", got, len(want))
+	}
+	for i, w := range want {
+		if got[i].Rule != w.rule || got[i].Cleared != w.cleared || got[i].Index != 2 {
+			t.Fatalf("alert %d = %+v, want rule=%s cleared=%v index=2", i, got[i], w.rule, w.cleared)
+		}
+	}
+}
+
+func TestEngineQueueSaturatedNeedsConsecutiveIntervals(t *testing.T) {
+	e := newEngine(engineConfig{n: 2, self: 0, queueWatermark: 10, queueIntervals: 3})
+	under := mkView([]State{StateHealthy, StateHealthy}, func(v *View) { v.Peers[1].QueueDepth = 9 })
+	over := mkView([]State{StateHealthy, StateHealthy}, func(v *View) { v.Peers[1].QueueDepth = 12 })
+
+	// Two saturated rounds, a dip, two more: no alert (never 3 in a row).
+	if got := collectAlerts(e, over, over, under, over, over); len(got) != 0 {
+		t.Fatalf("unexpected alerts %+v", got)
+	}
+	// Third consecutive round fires exactly once; the dip clears it.
+	got := collectAlerts(e, over, over, under)
+	if len(got) != 2 || got[0].Rule != RuleQueueSaturated || got[0].Cleared ||
+		!got[1].Cleared || got[1].Rule != RuleQueueSaturated {
+		t.Fatalf("alerts %+v, want fire then clear of %s", got, RuleQueueSaturated)
+	}
+}
+
+func TestEngineRedialStorm(t *testing.T) {
+	e := newEngine(engineConfig{n: 2, self: 0, redialWindow: 5, redialStormDelta: 10})
+	at := func(redials int64) View {
+		return mkView([]State{StateHealthy, StateHealthy}, func(v *View) { v.Peers[1].Redials = redials })
+	}
+	// First sight primes the ring: a large absolute counter is no storm.
+	if got := collectAlerts(e, at(1000), at(1002), at(1004)); len(got) != 0 {
+		t.Fatalf("unexpected alerts %+v", got)
+	}
+	// +20 redials inside the window: storm.
+	got := collectAlerts(e, at(1024))
+	if len(got) != 1 || got[0].Rule != RuleRedialStorm || got[0].Cleared {
+		t.Fatalf("alerts %+v, want one %s", got, RuleRedialStorm)
+	}
+	// Counter flat for a full window: clears.
+	got = collectAlerts(e, at(1024), at(1024), at(1024), at(1024), at(1024), at(1024))
+	if len(got) != 1 || !got[0].Cleared {
+		t.Fatalf("alerts %+v, want one cleared %s", got, RuleRedialStorm)
+	}
+}
+
+func TestEngineFloorLatch(t *testing.T) {
+	e := newEngine(engineConfig{n: 3, self: 0, floor: 3})
+	forming := mkView([]State{StateHealthy, StateUnknown, StateUnknown}, nil)
+	full := mkView([]State{StateHealthy, StateHealthy, StateHealthy}, nil)
+	degraded := mkView([]State{StateHealthy, StateHealthy, StateExpired}, nil)
+
+	// Below the floor during mesh formation: silent (not yet armed).
+	got := collectAlerts(e, forming, forming)
+	for _, a := range got {
+		if a.Rule == RuleFleetFloor {
+			t.Fatalf("floor alert during formation: %+v", a)
+		}
+	}
+	// Reach the floor, then lose a peer: fires (plus the peer rules).
+	got = collectAlerts(e, full, degraded)
+	found := false
+	for _, a := range got {
+		if a.Rule == RuleFleetFloor && !a.Cleared {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no %s alert after degradation: %+v", RuleFleetFloor, got)
+	}
+	// Recovery clears it.
+	got = collectAlerts(e, full)
+	found = false
+	for _, a := range got {
+		if a.Rule == RuleFleetFloor && a.Cleared {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cleared %s alert after recovery: %+v", RuleFleetFloor, got)
+	}
+}

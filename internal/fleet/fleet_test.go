@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildMesh starts n mesh nodes on loopback ephemeral ports with fast
+// intervals, fully addressed, and returns them plus a per-node alert
+// recorder.
+func buildMesh(t *testing.T, n int, mutate func(i int, cfg *Config)) ([]*Mesh, []*alertLog) {
+	t.Helper()
+	logs := make([]*alertLog, n)
+	meshes := make([]*Mesh, n)
+	for i := 0; i < n; i++ {
+		logs[i] = &alertLog{}
+		cfg := Config{
+			Self:         i,
+			N:            n,
+			ListenAddr:   "127.0.0.1:0",
+			AdvertiseURL: "http://daemon-" + string(rune('a'+i)),
+			Interval:     20 * time.Millisecond,
+			SuspectAfter: 120 * time.Millisecond,
+			ExpireAfter:  400 * time.Millisecond,
+			OnAlert:      logs[i].record,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meshes[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range meshes {
+			if m != nil {
+				m.Close()
+			}
+		}
+	})
+	addrs := make([]string, n)
+	for i, m := range meshes {
+		addrs[i] = m.Addr()
+	}
+	for _, m := range meshes {
+		m.SetAddrs(addrs)
+	}
+	return meshes, logs
+}
+
+// alertLog records alerts in arrival order, thread-safe.
+type alertLog struct {
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+func (l *alertLog) record(a Alert) {
+	l.mu.Lock()
+	l.alerts = append(l.alerts, a)
+	l.mu.Unlock()
+}
+
+func (l *alertLog) snapshot() []Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Alert(nil), l.alerts...)
+}
+
+// has reports whether an alert with the given rule/index/cleared state
+// was recorded.
+func (l *alertLog) has(rule string, index int, cleared bool) bool {
+	for _, a := range l.snapshot() {
+		if a.Rule == rule && a.Index == index && a.Cleared == cleared {
+			return true
+		}
+	}
+	return false
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// allHealthy reports whether every mesh sees every peer healthy.
+func allHealthy(meshes []*Mesh) bool {
+	for _, m := range meshes {
+		if m.View().Healthy != len(meshes) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestThreeNodeConvergenceAndChaos is the acceptance test: three nodes
+// converge to identical liveness judgements and matching generation
+// knowledge, survive a DropConns chaos round, and keep converging.
+func TestThreeNodeConvergenceAndChaos(t *testing.T) {
+	meshes, _ := buildMesh(t, 3, nil)
+
+	waitFor(t, 5*time.Second, "initial convergence to 3 healthy", func() bool {
+		return allHealthy(meshes)
+	})
+
+	// Generation vectors converge: pick a target vector (each node's own
+	// current generation as that node reports it) and wait until every
+	// node's view covers it — same generation knowledge on all peers.
+	target := make([]uint64, 3)
+	for i, m := range meshes {
+		target[i] = m.View().GenVector[i]
+	}
+	covered := func() bool {
+		for _, m := range meshes {
+			gv := m.View().GenVector
+			for j := range target {
+				if gv[j] < target[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	waitFor(t, 5*time.Second, "generation vectors to converge", covered)
+
+	// Chaos: sever every gossip connection on every node at once. The
+	// links redial; within the suspicion window the fleet must look
+	// whole again (and generations keep advancing past the drop).
+	for _, m := range meshes {
+		m.DropConns()
+	}
+	preDrop := make([]uint64, 3)
+	for i, m := range meshes {
+		preDrop[i] = m.View().GenVector[i]
+	}
+	waitFor(t, 5*time.Second, "re-convergence after DropConns", func() bool {
+		if !allHealthy(meshes) {
+			return false
+		}
+		for i, m := range meshes {
+			gv := m.View().GenVector
+			for j := range gv {
+				if j != i && gv[j] <= preDrop[j] {
+					return false // no fresh gossip heard since the drop
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestSilencedPeerLifecycle is the other acceptance leg: a closed peer
+// transitions healthy -> suspect -> expired in the survivors' views with
+// matching peer_silent / peer_expired alerts, and the floor rule fires.
+func TestSilencedPeerLifecycle(t *testing.T) {
+	meshes, logs := buildMesh(t, 3, func(i int, cfg *Config) {
+		cfg.Floor = 3
+	})
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		return allHealthy(meshes)
+	})
+
+	// Silence node 2 (Close stops its ticker and transport).
+	meshes[2].Close()
+	silenced := meshes[2]
+	meshes[2] = nil
+	_ = silenced
+
+	observer := meshes[0]
+	stateOf := func(idx int) State { return observer.View().Peers[idx].State }
+
+	waitFor(t, 5*time.Second, "peer 2 suspect", func() bool { return stateOf(2) == StateSuspect })
+	waitFor(t, 5*time.Second, "peer 2 expired", func() bool { return stateOf(2) == StateExpired })
+
+	waitFor(t, 5*time.Second, "peer_silent + peer_expired + fleet_floor alerts", func() bool {
+		return logs[0].has(RulePeerSilent, 2, false) &&
+			logs[0].has(RulePeerExpired, 2, false) &&
+			logs[0].has(RuleFleetFloor, -1, false)
+	})
+
+	// Both survivors agree.
+	waitFor(t, 5*time.Second, "survivor 1 agrees", func() bool {
+		v := meshes[1].View()
+		return v.Peers[2].State == StateExpired && v.Healthy == 2
+	})
+
+	// The view carries the firing alerts.
+	v := observer.View()
+	rules := map[string]bool{}
+	for _, a := range v.Alerts {
+		rules[a.Rule] = true
+	}
+	for _, want := range []string{RulePeerSilent, RulePeerExpired, RuleFleetFloor} {
+		if !rules[want] {
+			t.Fatalf("active alerts missing %s: %+v", want, v.Alerts)
+		}
+	}
+}
+
+// TestSignatureRejection: a node with the wrong secret is ignored (its
+// digests fail verification) and counted, so a stray daemon cannot
+// poison the fleet view.
+func TestSignatureRejection(t *testing.T) {
+	meshes, _ := buildMesh(t, 2, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.Secret = "right"
+		} else {
+			cfg.Secret = "wrong"
+		}
+	})
+	// Give gossip time to flow both ways; neither side may merge.
+	time.Sleep(300 * time.Millisecond)
+	for i, m := range meshes {
+		v := m.View()
+		if v.Peers[1-i].Gen != 0 {
+			t.Fatalf("node %d merged a badly signed entry: %+v", i, v.Peers[1-i])
+		}
+		if v.SigRejected == 0 {
+			t.Fatalf("node %d counted no rejected signatures", i)
+		}
+	}
+}
+
+// TestSignedMeshConverges: matching secrets verify and merge.
+func TestSignedMeshConverges(t *testing.T) {
+	meshes, _ := buildMesh(t, 2, func(i int, cfg *Config) {
+		cfg.Secret = "shared"
+	})
+	waitFor(t, 5*time.Second, "signed mesh convergence", func() bool {
+		return allHealthy(meshes)
+	})
+}
+
+// TestHealthPropagation: load numbers gossip through, including
+// transitively via a relay when a direct link is missing.
+func TestHealthPropagation(t *testing.T) {
+	var depth sync.Map // index -> int
+	meshes, _ := buildMesh(t, 3, func(i int, cfg *Config) {
+		cfg.Source = func() Health {
+			d, _ := depth.LoadOrStore(i, 0)
+			return Health{QueueDepth: d.(int), LiveSessions: i * 10}
+		}
+	})
+	depth.Store(1, 7)
+	waitFor(t, 5*time.Second, "node 0 sees node 1's queue depth", func() bool {
+		p := meshes[0].View().Peers[1]
+		return p.QueueDepth == 7 && p.LiveSessions == 10 && p.Addr == "http://daemon-b"
+	})
+}
+
+func TestViewJSONStableOrder(t *testing.T) {
+	meshes, _ := buildMesh(t, 2, nil)
+	waitFor(t, 5*time.Second, "convergence", func() bool { return allHealthy(meshes) })
+	v1, v2 := meshes[0].View(), meshes[0].View()
+	if !reflect.DeepEqual(indices(v1), indices(v2)) {
+		t.Fatalf("peer order unstable: %v vs %v", indices(v1), indices(v2))
+	}
+}
+
+func indices(v View) []int {
+	out := make([]int, len(v.Peers))
+	for i, p := range v.Peers {
+		out[i] = p.Index
+	}
+	return out
+}

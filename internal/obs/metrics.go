@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -65,6 +66,46 @@ func (h *Histogram) Observe(v float64) {
 
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank, reading each bucket counter
+// once. With no samples it returns 0; ranks landing in the overflow
+// bucket clamp to the highest finite bound. The estimate is approximate
+// by construction — bounded by bucket resolution — which is exactly what
+// a gossiped health summary needs.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) {
+			break // overflow bucket: clamp below
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // metric is one registered series.
 type metric struct {
@@ -143,7 +184,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	metrics := append([]*metric(nil), r.metrics...)
 	r.mu.Unlock()
 	for _, m := range metrics {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.typ)
 		switch {
 		case m.fn != nil:
 			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
@@ -167,3 +208,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 
 // formatFloat renders a float the way Prometheus clients expect.
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp applies the text exposition format's HELP escaping:
+// backslash and newline are the only characters that would corrupt the
+// line-oriented format.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}

@@ -1,0 +1,272 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"asyncmediator/api"
+	"asyncmediator/internal/events"
+)
+
+// reservePorts grabs n distinct loopback ports by binding and releasing
+// them, so the fleet address table can be written before any daemon
+// boots (the table must be identical everywhere).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+// newFleetFarms boots n Services joined into one gossip mesh.
+func newFleetFarms(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Service {
+	t.Helper()
+	table := reservePorts(t, n)
+	farms := make([]*Service, n)
+	for i := range farms {
+		cfg := Config{
+			Workers:        1,
+			FleetListen:    table[i],
+			FleetPeers:     table,
+			AdvertiseURL:   "http://daemon-" + string(rune('a'+i)),
+			GossipInterval: 25 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		farms[i] = newFarm(t, cfg)
+	}
+	t.Cleanup(func() {
+		for _, f := range farms {
+			f.Close()
+		}
+	})
+	return farms
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServiceFleetConvergesAndServesView boots three farms as one fleet
+// and asserts every daemon's GET /v1/cluster/fleet answer converges to
+// three healthy peers with the peers' advertised URLs and load attached.
+func TestServiceFleetConvergesAndServesView(t *testing.T) {
+	farms := newFleetFarms(t, 3, nil)
+
+	waitUntil(t, 10*time.Second, "all views healthy", func() bool {
+		for _, f := range farms {
+			v, ok := f.FleetView()
+			if !ok || v.Healthy != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The view is served over the real /v1 surface.
+	ts := httptest.NewServer(farms[0].Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/cluster/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster/fleet: %d", resp.StatusCode)
+	}
+	var fv api.FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&fv); err != nil {
+		t.Fatal(err)
+	}
+	if fv.Size != 3 || fv.Healthy != 3 {
+		t.Fatalf("served view not converged: %+v", fv)
+	}
+	seen := map[string]bool{}
+	for _, p := range fv.Peers {
+		seen[p.Addr] = true
+	}
+	for _, want := range []string{"http://daemon-a", "http://daemon-b", "http://daemon-c"} {
+		if !seen[want] {
+			t.Fatalf("view misses advertised peer %s: %v", want, seen)
+		}
+	}
+}
+
+// TestServiceFleetAlertsOnSilencedPeer kills one of three daemons and
+// asserts a survivor publishes the alert transitions on its event bus —
+// the same events SSE consumers see via /v1/events?kind=fleet.
+func TestServiceFleetAlertsOnSilencedPeer(t *testing.T) {
+	farms := newFleetFarms(t, 3, func(i int, cfg *Config) { cfg.FleetFloor = 3 })
+
+	waitUntil(t, 10*time.Second, "all views healthy", func() bool {
+		for _, f := range farms {
+			v, ok := f.FleetView()
+			if !ok || v.Healthy != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Subscribe before the kill so no transition is missed.
+	sub := farms[0].bus.Subscribe(256)
+	defer sub.Cancel()
+
+	farms[2].Close()
+
+	states := map[string]events.Event{}
+	deadline := time.After(15 * time.Second)
+	for len(states) < 3 {
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				t.Fatal("bus closed before the alerts arrived")
+			}
+			if e.Kind != api.KindFleet {
+				continue
+			}
+			states[e.State] = e
+		case <-deadline:
+			t.Fatalf("timed out; fleet events so far: %v", keysOf(states))
+		}
+	}
+	for _, want := range []string{"alert.peer_silent", "alert.peer_expired", "alert.fleet_floor"} {
+		e, ok := states[want]
+		if !ok {
+			t.Fatalf("missing fleet event %s (got %v)", want, keysOf(states))
+		}
+		a, ok := api.Event{Kind: e.Kind, ID: e.ID, State: api.State(e.State), Data: e.Data}.FleetAlert()
+		if !ok {
+			t.Fatalf("event %s carries no FleetAlert payload", want)
+		}
+		if want != "alert.fleet_floor" && a.Peer != "http://daemon-c" {
+			t.Fatalf("event %s blames %q, want the killed daemon", want, a.Peer)
+		}
+	}
+	// The killed peer's URL is the event subject for per-peer rules.
+	if e := states["alert.peer_silent"]; e.ID != "http://daemon-c" {
+		t.Fatalf("peer_silent subject = %q", e.ID)
+	}
+	if e := states["alert.fleet_floor"]; e.ID != "fleet" {
+		t.Fatalf("fleet_floor subject = %q", e.ID)
+	}
+
+	// The firing rules also show on the survivor's served view.
+	waitUntil(t, 5*time.Second, "alerts visible in the view", func() bool {
+		v, _ := farms[0].FleetView()
+		return len(v.Alerts) > 0
+	})
+}
+
+func keysOf(m map[string]events.Event) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFleetEndpointWithoutFleetIs404 pins the non-fleet daemon's answer:
+// an explicit not_found, not an empty view.
+func TestFleetEndpointWithoutFleetIs404(t *testing.T) {
+	svc := newFarm(t, Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/cluster/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStatsClusterNilWhenNeverClustered pins the satellite fix: a daemon
+// that never clustered reports no cluster-link block at all, so clients
+// (mediatorctl obs) can say "no cluster transport" instead of rendering
+// an all-zero struct as if links existed.
+func TestStatsClusterNilWhenNeverClustered(t *testing.T) {
+	svc := newFarm(t, Config{Workers: 1})
+	defer svc.Close()
+	if st := svc.Stats(); st.Cluster != nil {
+		t.Fatalf("Stats().Cluster = %+v, want nil on a never-clustered daemon", st.Cluster)
+	}
+}
+
+// TestFleetConfigRejectsBadTable pins the boot-time validation errors.
+func TestFleetConfigRejectsBadTable(t *testing.T) {
+	if _, err := New(Config{Workers: 1, FleetListen: "127.0.0.1:9"}); err == nil {
+		t.Fatal("fleet listen without a peer table must fail")
+	}
+	if _, err := New(Config{
+		Workers:     1,
+		FleetListen: "127.0.0.1:9",
+		FleetPeers:  []string{"127.0.0.1:10", "127.0.0.1:11"},
+	}); err == nil {
+		t.Fatal("fleet listen missing from the table must fail")
+	}
+}
+
+// TestMetricsExposeFleetSeries scrapes a fleet member's /metrics and
+// asserts the aggregated fleet series and build identity render.
+func TestMetricsExposeFleetSeries(t *testing.T) {
+	farms := newFleetFarms(t, 3, nil)
+	waitUntil(t, 10*time.Second, "all views healthy", func() bool {
+		v, ok := farms[0].FleetView()
+		return ok && v.Healthy == 3
+	})
+	ts := httptest.NewServer(farms[0].Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		`mediatord_fleet_peers{state="healthy"} 3`,
+		"mediatord_fleet_size 3",
+		"mediatord_fleet_gossip_rounds_total",
+		`mediatord_peer_up{peer="http://daemon-b"} 1`,
+		`mediatord_peer_queue_depth{peer="http://daemon-c"}`,
+		"mediatord_build_info{go_version=",
+		"mediatord_shedding 0",
+		"mediatord_goroutines",
+		"mediatord_heap_alloc_bytes",
+		"mediatord_gc_pause_seconds_total",
+		"mediatord_play_phase_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics misses %q\n\n%s", want, out)
+		}
+	}
+}

@@ -101,6 +101,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/join", s.idempotent(s.handleClusterJoin))
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/start", s.idempotent(s.handleClusterStart))
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/finish", s.idempotent(s.handleClusterFinish))
+	mux.HandleFunc("GET "+api.Prefix+"/cluster/fleet", s.handleFleet)
 	mux.HandleFunc("GET "+api.Prefix+"/stats", s.handleStats)
 
 	// The fault-injection hook: mounted only when chaos is explicitly
@@ -109,7 +110,9 @@ func (s *Service) Handler() http.Handler {
 	// transport retries never double a drop.
 	if s.cfg.EnableChaos {
 		mux.HandleFunc("POST "+api.Prefix+"/cluster/drop", s.idempotent(func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, map[string]int{"dropped": s.DropClusterConns()})
+			// Severs play transports and the fleet gossip mesh alike: a
+			// chaos round exercises both planes' redial paths.
+			writeJSON(w, http.StatusOK, map[string]int{"dropped": s.DropClusterConns() + s.DropFleetConns()})
 		}))
 	}
 
@@ -323,6 +326,18 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleFleet answers GET /v1/cluster/fleet: this daemon's gossip-derived
+// view of the whole fleet. A daemon running without a fleet plane (no
+// -fleet-listen) answers not_found — the resource does not exist here.
+func (s *Service) handleFleet(w http.ResponseWriter, r *http.Request) {
+	fv, ok := s.FleetView()
+	if !ok {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "this daemon is not part of a fleet (started without -fleet-listen)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, fv)
+}
+
 // serveExperimentJob answers GET /v1/jobs/{id} — the async-job view,
 // with optional long-poll.
 func (s *Service) serveExperimentJob(w http.ResponseWriter, r *http.Request, id string) {
@@ -380,8 +395,8 @@ func (s *Service) serveExperimentSync(w http.ResponseWriter, r *http.Request, na
 // first frame is a "hello" event carrying the bus's current sequence
 // number — a subscriber that reads it is guaranteed to receive every
 // event published afterwards (modulo overflow, reported via gap in seq).
-// ?session=<id> narrows to one session; ?kind=session|experiment narrows
-// to one namespace.
+// ?session=<id> narrows to one session; ?kind=session|experiment|fleet
+// narrows to one namespace.
 func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
 	if !canFlush(w) {
 		writeAPIError(w, api.Errorf(api.CodeInternal, "streaming unsupported"))
@@ -391,10 +406,10 @@ func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request) {
 	sessionFilter := r.URL.Query().Get("session")
 	kindFilter := r.URL.Query().Get("kind")
 	switch kindFilter {
-	case "", api.KindSession, api.KindExperiment:
+	case "", api.KindSession, api.KindExperiment, api.KindFleet:
 	default:
-		writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "unknown kind %q (want %s or %s)",
-			kindFilter, api.KindSession, api.KindExperiment).WithDetail("param", "kind"))
+		writeAPIError(w, api.Errorf(api.CodeInvalidArgument, "unknown kind %q (want %s, %s, or %s)",
+			kindFilter, api.KindSession, api.KindExperiment, api.KindFleet).WithDetail("param", "kind"))
 		return
 	}
 

@@ -3,8 +3,14 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"asyncmediator/api"
 )
 
 // writeMetrics renders the farm's aggregate state in the Prometheus text
@@ -61,6 +67,55 @@ func (s *Service) writeMetrics(w http.ResponseWriter, sv StatsView) {
 		}
 	}
 
+	// Fleet telemetry plane: aggregated peer-state counts plus per-peer
+	// load series. Labeled, so hand-rendered like the session series
+	// above (the obs registry is label-free by design).
+	if fv, ok := s.FleetView(); ok {
+		fmt.Fprintf(&sb, "# HELP mediatord_fleet_peers Fleet daemons per gossip liveness state (self included).\n# TYPE mediatord_fleet_peers gauge\n")
+		for _, st := range []struct {
+			name string
+			v    int
+		}{{"healthy", fv.Healthy}, {"suspect", fv.Suspect}, {"expired", fv.Expired}, {"unknown", fv.Unknown}} {
+			fmt.Fprintf(&sb, "mediatord_fleet_peers{state=%q} %d\n", st.name, st.v)
+		}
+		gauge("mediatord_fleet_size", "Configured fleet size (gossip address table length).", float64(fv.Size))
+		gauge("mediatord_fleet_floor", "Configured healthy-daemon floor (n > 4k+3t); 0 when unset.", float64(fv.Floor))
+		counter("mediatord_fleet_gossip_rounds_total", "Gossip rounds this daemon has run.", fv.GossipRounds)
+		counter("mediatord_fleet_entries_merged_total", "Health entries merged from peers' gossip digests.", fv.EntriesMerged)
+		counter("mediatord_fleet_sig_rejected_total", "Gossip digests rejected for a missing or bad signature.", fv.SigRejected)
+
+		peerLabel := func(p api.FleetPeer) string {
+			if p.Addr != "" {
+				return p.Addr
+			}
+			return fmt.Sprintf("peer-%d", p.Index)
+		}
+		fmt.Fprintf(&sb, "# HELP mediatord_peer_up Peer liveness as judged by gossip (1 healthy, 0 otherwise).\n# TYPE mediatord_peer_up gauge\n")
+		for _, p := range fv.Peers {
+			up := 0
+			if p.State == api.FleetPeerHealthy {
+				up = 1
+			}
+			fmt.Fprintf(&sb, "mediatord_peer_up{peer=%q} %d\n", peerLabel(p), up)
+		}
+		fmt.Fprintf(&sb, "# HELP mediatord_peer_queue_depth Each peer's gossiped worker-queue depth.\n# TYPE mediatord_peer_queue_depth gauge\n")
+		for _, p := range fv.Peers {
+			fmt.Fprintf(&sb, "mediatord_peer_queue_depth{peer=%q} %d\n", peerLabel(p), p.QueueDepth)
+		}
+		if counts := s.fleetAlertCounts(); len(counts) > 0 {
+			fmt.Fprintf(&sb, "# HELP mediatord_fleet_alerts_total Fleet alerts fired since boot, by rule.\n# TYPE mediatord_fleet_alerts_total counter\n")
+			for _, rule := range sortedKeys(counts) {
+				fmt.Fprintf(&sb, "mediatord_fleet_alerts_total{rule=%q} %d\n", rule, counts[rule])
+			}
+		}
+	}
+
+	// Build identity: constant-1 gauge whose labels say what binary this
+	// is — the series fleet-rollout dashboards join everything else on.
+	goVersion, revision := buildIdentity()
+	fmt.Fprintf(&sb, "# HELP mediatord_build_info Build metadata as labels on a constant 1.\n# TYPE mediatord_build_info gauge\nmediatord_build_info{go_version=%q,revision=%q} 1\n",
+		goVersion, revision)
+
 	if s.obsReg != nil {
 		s.obsReg.WritePrometheus(&sb)
 	}
@@ -74,3 +129,30 @@ func (s *Service) writeMetrics(w http.ResponseWriter, sv StatsView) {
 func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// label rendering.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildIdentity resolves the build's Go version and VCS revision once.
+var buildIdentity = sync.OnceValues(func() (string, string) {
+	rev := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			}
+		}
+	}
+	return runtime.Version(), rev
+})

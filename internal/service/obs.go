@@ -1,6 +1,10 @@
 package service
 
 import (
+	"runtime"
+	"sync"
+	"time"
+
 	"asyncmediator/api"
 	"asyncmediator/internal/cluster"
 	"asyncmediator/internal/pool"
@@ -180,4 +184,63 @@ func (s *Service) registerObsMetrics() {
 			}
 			return s.st.Metrics().ReplayTime.Seconds()
 		})
+
+	// Play phase latencies, folded once per terminal session from the
+	// play's trace spans; the p99 rides the fleet gossip.
+	s.phaseHist = r.Histogram("mediatord_play_phase_seconds",
+		"Protocol phase latencies (avss.share, rbc, ba, acs.core, mpc.*) folded from play traces.",
+		phaseLatencyBounds)
+
+	// Process health: shed state as a live 0/1 gauge (the cumulative
+	// mediatord_shed_intervals_total says how often; this says "now"),
+	// plus Go runtime series.
+	r.GaugeFunc("mediatord_shedding",
+		"1 while the readiness probe sheds load (queue depth at or above the watermark), else 0.",
+		func() float64 {
+			if wm := s.cfg.ReadyWatermark; wm > 0 && s.pool.QueueLen() >= wm {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("mediatord_goroutines",
+		"Live goroutines in the daemon process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	mem := &memSampler{}
+	r.GaugeFunc("mediatord_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(mem.sample().HeapAlloc) })
+	r.GaugeFunc("mediatord_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(mem.sample().HeapSys) })
+	r.CounterFunc("mediatord_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		func() float64 { return float64(mem.sample().NumGC) })
+	r.CounterFunc("mediatord_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(mem.sample().PauseTotalNs) / 1e9 })
+}
+
+// phaseLatencyBounds bucket the per-phase play latencies (seconds):
+// sub-millisecond loopback phases up through multi-second wire plays.
+var phaseLatencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// memSampler memoizes runtime.ReadMemStats for a second: one scrape
+// triggers at most one stop-the-world sample no matter how many runtime
+// series read it, and back-to-back scrapes share it.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (m *memSampler) sample() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) >= time.Second {
+		runtime.ReadMemStats(&m.ms)
+		m.at = time.Now()
+	}
+	return m.ms
 }

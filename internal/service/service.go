@@ -104,6 +104,26 @@ type Config struct {
 	// default observability layer). The overhead benchmark uses it to
 	// measure tracing's cost against an untraced baseline.
 	DisableTracing bool
+	// FleetListen, with FleetPeers, turns on the fleet telemetry plane:
+	// the daemon binds this gossip-mesh address and exchanges health
+	// summaries with every peer. FleetListen must appear verbatim in
+	// FleetPeers — fleet indices derive from the sorted table, so every
+	// daemon handed the same list agrees on the numbering.
+	FleetListen string
+	// FleetPeers is the full fleet gossip address table, self included.
+	FleetPeers []string
+	// AdvertiseURL is this daemon's API base URL as peers and operators
+	// should reach it; it travels in the gossiped health summaries.
+	AdvertiseURL string
+	// GossipInterval is the fleet gossip period (default 1s). Suspicion
+	// and expiry derive from it (3x and 10x).
+	GossipInterval time.Duration
+	// FleetFloor, when > 0, arms the fleet_floor alert: fewer healthy
+	// daemons than this (the operator's n > 4k + 3t bound) fires it.
+	FleetFloor int
+	// FleetSecret, when set, HMAC-signs every gossiped digest; digests
+	// failing verification are discarded.
+	FleetSecret string
 }
 
 func (c *Config) normalize() {
@@ -175,6 +195,13 @@ type Service struct {
 	// rendered into /metrics alongside the sink's play statistics.
 	obsReg *obs.Registry
 
+	// phaseHist aggregates per-phase protocol latencies across plays
+	// (one fold per terminal session); its p99 rides the fleet gossip.
+	phaseHist *obs.Histogram
+
+	// fleet is the gossip-mesh runtime (nil without FleetListen).
+	fleet *fleetState
+
 	// idem caches POST responses by Idempotency-Key so clients can retry
 	// creates over transport failures.
 	idem *idemCache
@@ -225,6 +252,17 @@ func New(cfg Config) (*Service, error) {
 	s.engine = sim.EngineOn(s.pool)
 	s.obsReg = obs.NewRegistry()
 	s.registerObsMetrics()
+	// The fleet plane joins last: its health source reads the pool and
+	// registry built above, and a bad fleet config must unwind them.
+	if err := s.startFleet(); err != nil {
+		s.pool.Close()
+		if st != nil {
+			_ = st.Close()
+		}
+		s.bus.Close()
+		s.sink.Close()
+		return nil, err
+	}
 	// Recovery replayed and the pool accepts submits: the readiness gate
 	// opens only now, so a handler mounted on a half-built farm reports
 	// not-ready rather than serving a partial view.
@@ -380,6 +418,9 @@ func (s *Service) exec(worker int, sess *Session) {
 	sess.finish(prof, res, err)
 
 	view := sess.Snapshot()
+	// Fold the play's phase spans into the rolling latency histogram
+	// whose p99 rides the fleet gossip (one walk per terminal session).
+	s.observePhases(view.Trace)
 	if serr := s.reg.Spill(view); serr != nil {
 		// The session stays in memory (never evicted un-persisted); count
 		// the failure so /stats surfaces a sick disk.
@@ -434,8 +475,16 @@ func (s *Service) Stats() StatsView {
 		v.SessionsPerSec = float64(tot.Sessions) / up
 		v.MessagesPerSec = float64(tot.MessagesSent) / up
 	}
-	cl := s.clusterLinkStats()
-	v.Cluster = &cl
+	// Cluster-link stats appear only once the daemon has actually
+	// clustered (live transport nodes, retired counters, or hosted
+	// plays) — the api doc promises nil for a never-clustered daemon, so
+	// consumers can tell "no transport" from "transport, all zeros".
+	s.clusterMu.Lock()
+	liveNodes := len(s.clusterNodes)
+	s.clusterMu.Unlock()
+	if cl := s.clusterLinkStats(); liveNodes > 0 || s.clusterHosted.Load() > 0 || cl != (api.ClusterLinkStats{}) {
+		v.Cluster = &cl
+	}
 	pl := poolStats(s.pool)
 	v.Pool = &pl
 	return v
@@ -448,6 +497,11 @@ func (s *Service) Stats() StatsView {
 // collector exits.
 func (s *Service) Close() {
 	s.beginShutdown()
+	// The fleet mesh stops first: its tick goroutine samples the pool
+	// and registry, which are about to drain.
+	if s.fleet != nil && s.fleet.mesh != nil {
+		s.fleet.mesh.Close()
+	}
 	// Release parked co-hosted cluster plays (never-started or
 	// lingering), so their transport listeners and goroutines cannot
 	// outlive the farm.

@@ -36,6 +36,15 @@ func (c *Client) ClusterFinish(ctx context.Context, req api.ClusterFinishRequest
 	return resp, err
 }
 
+// FleetStatus fetches the daemon's gossip-derived view of the whole
+// fleet: per-peer health summaries, liveness judgements, and currently
+// firing alerts. Daemons started without -fleet-listen answer not_found.
+func (c *Client) FleetStatus(ctx context.Context) (api.FleetView, error) {
+	var v api.FleetView
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/fleet", nil, nil, &v)
+	return v, err
+}
+
 // ClusterDrop fires the daemon's fault-injection hook (mediatord
 // -chaos): every live cluster transport connection is severed, and the
 // reconnect/resend machinery must heal the play. It returns how many
