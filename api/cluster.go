@@ -8,16 +8,27 @@ package api
 //
 //  1. POST /v1/cluster/join  — carry the play's spec, types, seed, and
 //     the player indices that daemon hosts; it binds one transport
-//     listener per local player and answers with their addresses.
+//     listener per local player and answers with their addresses. The
+//     coordinator joins all peers in parallel.
 //  2. POST /v1/cluster/start — carry the complete player->address
-//     table; the daemon runs its local players to termination and
-//     answers with their outcomes.
+//     table; the daemon runs its local players to termination. In the
+//     default synchronous mode the response carries their outcomes; with
+//     Async set the call returns immediately (Accepted) and the daemon
+//     publishes the outcomes as a terminal session-kind event under the
+//     cluster id on its event bus (GET /v1/events?session={cluster_id}),
+//     so no connection is held for the play's duration.
 //
 // The coordinator merges the outcomes with its own players', resolves
 // the joint action profile exactly as a single-process play would, and
 // persists/announces the terminal session on its own store and event
-// bus. Both calls are idempotent under the Idempotency-Key header, so
-// the coordinator's SDK retries them safely over transport failures.
+// bus.
+//
+// Keyed-retry contract: both calls are idempotent. The SDK derives the
+// Idempotency-Key deterministically from the cluster id (not from the
+// client instance), so even a restarted coordinator process that retries
+// a start replays the cached response instead of re-running the play;
+// additionally, a repeated start for a play whose outcome is already
+// gathered answers the cached ClusterStartResponse rather than conflict.
 
 // PeerSpec assigns one player index of a session to a co-hosting
 // daemon, identified by its HTTP base URL (e.g. "http://10.0.0.2:8080").
@@ -62,6 +73,10 @@ type ClusterJoinResponse struct {
 type ClusterStartRequest struct {
 	ClusterID string   `json:"cluster_id"`
 	Addrs     []string `json:"addrs"`
+	// Async makes the call return immediately (Accepted set, no
+	// Results); the outcomes arrive as a terminal session-kind event
+	// under the cluster id on this daemon's event bus.
+	Async bool `json:"async,omitempty"`
 }
 
 // ClusterPlayerResult is one co-hosted player's terminal state. Move and
@@ -83,7 +98,8 @@ type ClusterPlayerResult struct {
 }
 
 // ClusterStartResponse carries every local player's outcome back to the
-// coordinator.
+// coordinator — inline for a synchronous start, as the terminal event's
+// payload for an async one.
 type ClusterStartResponse struct {
 	ClusterID string                `json:"cluster_id"`
 	Results   []ClusterPlayerResult `json:"results"`
@@ -91,6 +107,25 @@ type ClusterStartResponse struct {
 	// join's trace id); the coordinator merges them into the session's
 	// stitched trace. Omitted when the join carried no trace id.
 	Trace *TraceView `json:"trace,omitempty"`
+	// Accepted acknowledges an async start: the play is admitted and
+	// running; Results will ride the terminal event instead.
+	Accepted bool `json:"accepted,omitempty"`
+}
+
+// ClusterPlanRequest is the body of POST /v1/cluster/plan: a dry-run of
+// the placement scheduler against the daemon's current fleet view. The
+// spec is validated and placed exactly as POST /v1/sessions would, but
+// nothing is created.
+type ClusterPlanRequest struct {
+	Spec SessionSpec `json:"spec"`
+}
+
+// ClusterPlanResponse is the dry-run's decision.
+type ClusterPlanResponse struct {
+	Placement PlacementView `json:"placement"`
+	// HealthyDaemons is how many usable daemons the plan drew from (the
+	// coordinator included).
+	HealthyDaemons int `json:"healthy_daemons"`
 }
 
 // ClusterFinishRequest is the body of POST /v1/cluster/finish: the

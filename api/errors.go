@@ -32,6 +32,15 @@ const (
 	// CodeInternal is an unexpected server fault (e.g. a recovered
 	// panic). HTTP 500.
 	CodeInternal ErrorCode = "internal"
+	// CodePlacementInfeasible rejects a placement no fleet could serve:
+	// session parameters under the paper's n > 4k + 3t floor, an unknown
+	// strategy, or a contradictory pinned-peer list. HTTP 400.
+	CodePlacementInfeasible ErrorCode = "placement_infeasible"
+	// CodeFleetUnderFloor rejects a placement the fleet cannot serve
+	// right now: fewer healthy daemons than the requested minimum, or a
+	// strict placement whose t-daemon fault budget is unattainable.
+	// Transient — retry once the fleet recovers. HTTP 503.
+	CodeFleetUnderFloor ErrorCode = "fleet_under_floor"
 )
 
 // ErrorCodes lists every defined code.
@@ -39,6 +48,7 @@ func ErrorCodes() []ErrorCode {
 	return []ErrorCode{
 		CodeInvalidArgument, CodeNotFound, CodeConflict,
 		CodePoolSaturated, CodeNotReady, CodeInternal,
+		CodePlacementInfeasible, CodeFleetUnderFloor,
 	}
 }
 
@@ -47,13 +57,13 @@ func ErrorCodes() []ErrorCode {
 // it as a server fault, never as success.
 func (c ErrorCode) HTTPStatus() int {
 	switch c {
-	case CodeInvalidArgument:
+	case CodeInvalidArgument, CodePlacementInfeasible:
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
 	case CodeConflict:
 		return http.StatusConflict
-	case CodePoolSaturated, CodeNotReady:
+	case CodePoolSaturated, CodeNotReady, CodeFleetUnderFloor:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -61,10 +71,10 @@ func (c ErrorCode) HTTPStatus() int {
 }
 
 // Retryable reports whether a request failing with this code may succeed
-// verbatim later (backpressure and readiness are transient; the rest are
-// client or server bugs).
+// verbatim later (backpressure, readiness, and fleet health are
+// transient; the rest are client or server bugs).
 func (c ErrorCode) Retryable() bool {
-	return c == CodePoolSaturated || c == CodeNotReady
+	return c == CodePoolSaturated || c == CodeNotReady || c == CodeFleetUnderFloor
 }
 
 // Error is the structured error body: a stable Code, a human-oriented

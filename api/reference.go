@@ -35,8 +35,9 @@ func Routes() []Route {
 		{Method: "POST", Path: "/jobs", Summary: "create a persisted asynchronous experiment job (body: ExperimentRequest)"},
 		{Method: "GET", Path: "/jobs/{id}", Summary: "experiment-job snapshot; ?wait= long-polls until terminal", Query: "wait"},
 		{Method: "POST", Path: "/cluster/join", Summary: "co-host a play: bind transport listeners for the named players (body: ClusterJoinRequest)"},
-		{Method: "POST", Path: "/cluster/start", Summary: "run the co-hosted players to termination with the full address table (body: ClusterStartRequest)"},
+		{Method: "POST", Path: "/cluster/start", Summary: "run the co-hosted players to termination with the full address table; async:true returns immediately and publishes the outcomes as a terminal session-kind event under the cluster id (body: ClusterStartRequest)"},
 		{Method: "POST", Path: "/cluster/finish", Summary: "release a finished play's lingering transports once the coordinator gathered every outcome (body: ClusterFinishRequest)"},
+		{Method: "POST", Path: "/cluster/plan", Summary: "dry-run the placement scheduler against the live fleet view: validate the spec and answer the daemon assignment without creating anything (body: ClusterPlanRequest)"},
 		{Method: "GET", Path: "/cluster/fleet", Summary: "this daemon's gossip-derived view of the whole fleet: per-peer health, liveness judgements, firing alerts (FleetView)"},
 		{Method: "GET", Path: "/stats", Summary: "farm-wide aggregate statistics (Stats)"},
 		{Method: "GET", Path: "/metrics", Summary: "Prometheus text exposition", Unversioned: true},
@@ -56,6 +57,8 @@ var errorCodeDocs = []struct {
 	{CodePoolSaturated, "worker queue full; the request had no effect — back off and retry"},
 	{CodeNotReady, "daemon booting (store recovery) or draining for shutdown"},
 	{CodeInternal, "unexpected server fault (recovered panic)"},
+	{CodePlacementInfeasible, "no fleet could place this spec: n under the n > 4k+3t floor, unknown strategy, or contradictory pinned peers"},
+	{CodeFleetUnderFloor, "the fleet cannot place this right now: too few healthy daemons for min_daemons, or a strict placement's fault budget is unattainable — retry when the fleet recovers"},
 }
 
 // Reference renders the /v1 API reference as markdown. The README embeds
@@ -101,8 +104,23 @@ func Reference() string {
 	b.WriteString("first completed response is cached under the key (scoped to method +\n")
 	b.WriteString("path) and replayed verbatim — flagged `Idempotency-Replayed: true` —\n")
 	b.WriteString("for every repeat, so creates retry safely over transport failures.\n")
-	b.WriteString("Transient failures (`pool_saturated`, `not_ready`) are not cached.\n")
-	b.WriteString("The SDK mints a key per POST automatically.\n")
+	b.WriteString("Transient failures (`pool_saturated`, `not_ready`,\n")
+	b.WriteString("`fleet_under_floor`) are not cached. The SDK mints a key per POST\n")
+	b.WriteString("automatically. Keyed create responses persist with the durable store,\n")
+	b.WriteString("so a retried create replays across a daemon restart; cluster join and\n")
+	b.WriteString("start keys are derived from the cluster id, so even a restarted\n")
+	b.WriteString("coordinator's retry replays instead of re-running the play.\n")
+
+	b.WriteString("\n**Placement.** A session spec may carry `\"placement\": \"auto\"` (or\n")
+	b.WriteString("the object form with `strategy` and `min_daemons`): the receiving\n")
+	b.WriteString("daemon consults its gossip fleet view, filters suspect/expired/shedding\n")
+	b.WriteString("peers, and spreads the players across healthy daemons least-loaded\n")
+	b.WriteString("first, deterministically (ties break on the sorted daemon URL). Specs\n")
+	b.WriteString("under the paper's n > 4k+3t floor are rejected as\n")
+	b.WriteString("`placement_infeasible`; fleets too unhealthy for the requested\n")
+	b.WriteString("placement answer `fleet_under_floor`. `POST /v1/cluster/plan` dry-runs\n")
+	b.WriteString("the same decision; the chosen assignment rides the SessionView as\n")
+	b.WriteString("`placement`.\n")
 
 	b.WriteString("\nThe pre-/v1 unversioned aliases were removed after their one-release\n")
 	b.WriteString("deprecation window; only the infrastructure probes (`/metrics`,\n")

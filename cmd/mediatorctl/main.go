@@ -9,7 +9,9 @@
 //	session create   create a play (-n -k -t -variant ...); -types submits
 //	                 the profile too, -watch follows it to a terminal state,
 //	                 repeatable -peer INDEX=ADDR co-hosts players on other
-//	                 daemons (cluster mode)
+//	                 daemons (cluster mode); -place auto asks the fleet
+//	                 scheduler to pick the daemons instead (-strategy,
+//	                 -min-daemons tune it)
 //	session get      one session snapshot (-wait long-polls to terminal)
 //	session list     page sessions (-state -offset -limit; -all walks pages)
 //	session types    submit a type profile: session types s-000001 0,0,0,0,0
@@ -28,6 +30,8 @@
 //	cluster status   fleet table from the daemon's gossip view: per-peer
 //	                 liveness, load, and firing alerts (-watch refreshes,
 //	                 -json prints the raw FleetView)
+//	cluster plan     dry-run the placement scheduler: the assignment a
+//	                 session create would get, without creating anything
 //	cluster drop     sever live cluster transport conns (daemon runs -chaos)
 //	ready            readiness probe (exit 1 when not ready)
 //	apidoc           print the generated /v1 API reference (markdown)
@@ -117,7 +121,7 @@ var errUsage = errors.New("usage")
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
 	fmt.Fprintln(w, "commands: session create|get|list|types|watch|trace, experiment list|run|get,")
-	fmt.Fprintln(w, "          stats, obs, events tail, cluster status|drop, ready, apidoc")
+	fmt.Fprintln(w, "          stats, obs, events tail, cluster status|plan|drop, ready, apidoc")
 	fmt.Fprintln(w, "flags:")
 	fs.PrintDefaults()
 }
@@ -187,6 +191,8 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 		switch args[1] {
 		case "status":
 			return clusterStatus(ctx, c, args[2:], stdout, stderr)
+		case "plan":
+			return clusterPlan(ctx, c, args[2:], stdout, stderr)
 		case "drop":
 			n, err := c.ClusterDrop(ctx)
 			if err != nil {
@@ -194,7 +200,7 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 			}
 			return printJSON(stdout, map[string]int{"dropped": n})
 		default:
-			return bad("unknown cluster verb %q (want status or drop)", args[1])
+			return bad("unknown cluster verb %q (want status, plan, or drop)", args[1])
 		}
 	case "ready":
 		if err := c.Ready(ctx); err != nil {
@@ -237,6 +243,9 @@ func sessionCreate(ctx context.Context, c *client.Client, args []string, stdout,
 		spec.Peers = append(spec.Peers, api.PeerSpec{Index: i, Addr: strings.TrimSpace(addr)})
 		return nil
 	})
+	place := fs.String("place", "", `placement mode: "auto" lets the fleet scheduler pick the daemons (implies the wire backend)`)
+	strategy := fs.String("strategy", "", "auto placement strategy: spread (default), pack, or strict (implies -place auto)")
+	minDaemons := fs.Int("min-daemons", 0, "refuse auto placements using fewer healthy daemons (implies -place auto; 0: no floor)")
 	seed := fs.String("seed", "", "session seed (empty: derived deterministically)")
 	types := fs.String("types", "", "comma-separated type profile; submits after create")
 	watch := fs.Bool("watch", false, "after submitting types, wait for the terminal snapshot")
@@ -248,6 +257,12 @@ func sessionCreate(ctx context.Context, c *client.Client, args []string, stdout,
 		return err
 	}
 	spec.Seed = seedp
+	if *place != "" || *strategy != "" || *minDaemons > 0 {
+		spec.Placement = &api.PlacementSpec{Mode: *place, Strategy: *strategy, MinDaemons: *minDaemons}
+		if spec.Placement.Mode == "" {
+			spec.Placement.Mode = api.PlacementModeAuto
+		}
+	}
 	if *watch && *types == "" {
 		fmt.Fprintln(stderr, "mediatorctl: -watch needs -types")
 		return errUsage
@@ -633,6 +648,64 @@ func renderFleet(w io.Writer, v api.FleetView) {
 	tw.Flush()
 	for _, a := range v.Alerts {
 		fmt.Fprintf(w, "ALERT %s: %s\n", a.Rule, a.Message)
+	}
+}
+
+// clusterPlan dry-runs the fleet placement scheduler: the assignment a
+// session created with this spec would get, without creating anything.
+func clusterPlan(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cluster plan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var spec api.SessionSpec
+	fs.StringVar(&spec.Game, "game", "", "game: section64 (default) or consensus")
+	fs.IntVar(&spec.N, "n", 0, "players (0: default 5)")
+	fs.IntVar(&spec.K, "k", 0, "coalition bound")
+	fs.IntVar(&spec.T, "t", 0, "malicious bound (0 with k=0: default t=1)")
+	fs.StringVar(&spec.Variant, "variant", "", "theorem: 4.1 (default), 4.2, 4.4, 4.5")
+	strategy := fs.String("strategy", "", "placement strategy: spread (default), pack, or strict")
+	minDaemons := fs.Int("min-daemons", 0, "refuse placements using fewer healthy daemons (0: no floor)")
+	raw := fs.Bool("json", false, "print the raw ClusterPlanResponse instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	spec.Placement = &api.PlacementSpec{Mode: api.PlacementModeAuto, Strategy: *strategy, MinDaemons: *minDaemons}
+	resp, err := c.ClusterPlan(ctx, api.ClusterPlanRequest{Spec: spec})
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return printJSON(stdout, resp)
+	}
+	renderPlan(stdout, resp)
+	return nil
+}
+
+// renderPlan prints one placement dry-run as a header line plus a
+// tabwriter table, one row per daemon in the assignment.
+func renderPlan(w io.Writer, resp api.ClusterPlanResponse) {
+	pl := resp.Placement
+	fmt.Fprintf(w, "plan: strategy=%s floor=%d daemons=%d healthy=%d\n",
+		pl.Strategy, pl.Floor, pl.Daemons, resp.HealthyDaemons)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tROLE\tPLAYERS")
+	for _, a := range pl.Assignments {
+		addr := a.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		role := "peer"
+		if a.Self {
+			role = "coordinator"
+		}
+		players := make([]string, len(a.Players))
+		for i, p := range a.Players {
+			players[i] = strconv.Itoa(p)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", addr, role, strings.Join(players, ","))
+	}
+	tw.Flush()
+	if pl.Degraded != "" {
+		fmt.Fprintf(w, "DEGRADED: %s\n", pl.Degraded)
 	}
 }
 

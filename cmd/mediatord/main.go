@@ -104,6 +104,7 @@ func run(args []string) error {
 	snapEvery := fs.Int("snapshot-every", 0, "WAL records between compacted store snapshots (0: store default)")
 	quiet := fs.Bool("quiet", false, "disable the per-request HTTP log")
 	clusterListen := fs.String("cluster-listen", "", "host cluster-mode transport listeners bind and advertise; must be reachable from peer daemons (default 127.0.0.1)")
+	joinTimeout := fs.Duration("join-timeout", 0, "per-peer deadline of the parallel cluster-join fan-out (0: 30s); start deadlines stay on the wire timeout")
 	tlsCert := fs.String("tls-cert", "", "PEM certificate for mutual TLS on cluster transport connections")
 	tlsKey := fs.String("tls-key", "", "PEM private key paired with -tls-cert")
 	tlsCA := fs.String("tls-ca", "", "PEM CA bundle both sides of every cluster connection verify against")
@@ -173,6 +174,7 @@ func run(args []string) error {
 		MaxLiveSessions: *maxLive,
 		SnapshotEvery:   *snapEvery,
 		ClusterListen:   *clusterListen,
+		JoinTimeout:     *joinTimeout,
 		TLSCert:         *tlsCert,
 		TLSKey:          *tlsKey,
 		TLSCA:           *tlsCA,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -50,6 +51,10 @@ type clusterPlay struct {
 	// them.
 	lingering bool
 	expire    *time.Timer
+	// result caches the gathered outcome while the play lingers: a
+	// repeated start (a restarted coordinator retrying its keyed call)
+	// answers it instead of conflicting.
+	result *api.ClusterStartResponse
 }
 
 // ErrClusterUnknown marks a start (or drop) for a cluster id this
@@ -111,7 +116,8 @@ func (s *Service) DropClusterConns() int {
 // buildClusterParams compiles and validates the play parameters a join
 // request describes, mirroring session creation on the coordinator.
 func buildClusterParams(spec Spec, seed int64) (core.Params, error) {
-	spec.Peers = nil // assignment travels in Players, not the spec
+	spec.Peers = nil     // assignment travels in Players, not the spec
+	spec.Placement = nil // placement was resolved on the coordinator
 	normalizeSpec(&spec)
 	params, err := buildParams(spec)
 	if err != nil {
@@ -285,8 +291,14 @@ func (s *Service) ClusterFinish(req api.ClusterFinishRequest) (api.ClusterFinish
 
 // ClusterStart completes the handshake: the full player->address table
 // arrives, the parked nodes learn their peers, and the local players run
-// to termination. The response carries each local player's outcome for
-// the coordinator to merge.
+// to termination — on the farm's bounded worker pool, so co-hosted
+// admission obeys the same backpressure as local plays (a full queue
+// answers pool_saturated with the play still startable). The synchronous
+// mode blocks and carries the outcomes inline; with req.Async the call
+// returns immediately (Accepted) and the outcomes ride a terminal
+// session-kind event under the cluster id. A repeated start for a play
+// whose outcome is already gathered (still lingering) answers the cached
+// response, so a restarted coordinator's keyed retry cannot conflict.
 func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartResponse, error) {
 	s.clusterMu.Lock()
 	play, ok := s.clusterPlays[req.ClusterID]
@@ -295,6 +307,18 @@ func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartRes
 		return api.ClusterStartResponse{}, fmt.Errorf("%w %s", ErrClusterUnknown, req.ClusterID)
 	}
 	if play.started {
+		if play.result != nil {
+			resp := *play.result
+			s.clusterMu.Unlock()
+			return resp, nil
+		}
+		if req.Async {
+			// The play is running and its outcome will ride the terminal
+			// event: re-accepting is the idempotent answer to a retry whose
+			// original accept was lost in transit.
+			s.clusterMu.Unlock()
+			return api.ClusterStartResponse{ClusterID: req.ClusterID, Accepted: true}, nil
+		}
 		s.clusterMu.Unlock()
 		return api.ClusterStartResponse{}, fmt.Errorf("%w: cluster %s already started", ErrConflict, req.ClusterID)
 	}
@@ -307,25 +331,60 @@ func (s *Service) ClusterStart(req api.ClusterStartRequest) (api.ClusterStartRes
 	play.expire.Stop()
 	s.clusterMu.Unlock()
 
-	results := runClusterNodes(play.nodes, req.Addrs, s.clusterTimeout())
-	// Fold the per-process phase buffers into the trace before it ships
-	// back. The transports linger past this point (relay contract), so
-	// late deliveries can still tick the buffers — harmless: they are
-	// relay traffic and the buffers' atomics keep the overlap race-free.
-	play.collect.flush()
+	// rollback un-claims the start after a pool rejection: the play
+	// returns to parked (expire re-armed) so a backed-off retry succeeds.
+	rollback := func() {
+		s.clusterMu.Lock()
+		if cur, ok := s.clusterPlays[req.ClusterID]; ok && cur == play {
+			play.started = false
+			play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
+		}
+		s.clusterMu.Unlock()
+	}
+	run := func() api.ClusterStartResponse {
+		results := runClusterNodes(play.nodes, req.Addrs, s.clusterTimeout())
+		// Fold the per-process phase buffers into the trace before it
+		// ships back. The transports linger past this point (relay
+		// contract), so late deliveries can still tick the buffers —
+		// harmless: they are relay traffic and the buffers' atomics keep
+		// the overlap race-free.
+		play.collect.flush()
+		resp := api.ClusterStartResponse{ClusterID: req.ClusterID, Results: results, Trace: traceView(play.trace)}
 
-	// The local players finished, but their transports must stay alive:
-	// the resend buffers may still hold frames a slower daemon's players
-	// need (wire.Node.Run's contract — honest players relay until
-	// everyone is done). The coordinator releases the play via
-	// /v1/cluster/finish once every daemon's outcomes are gathered; the
-	// linger timer is the backstop for a coordinator that died first.
-	s.clusterMu.Lock()
-	play.lingering = true
-	play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
-	s.clusterMu.Unlock()
-	s.clusterHosted.Add(1)
-	return api.ClusterStartResponse{ClusterID: req.ClusterID, Results: results, Trace: traceView(play.trace)}, nil
+		// The local players finished, but their transports must stay
+		// alive: the resend buffers may still hold frames a slower
+		// daemon's players need (wire.Node.Run's contract — honest
+		// players relay until everyone is done). The coordinator releases
+		// the play via /v1/cluster/finish once every daemon's outcomes
+		// are gathered; the linger timer is the backstop for a
+		// coordinator that died first.
+		s.clusterMu.Lock()
+		play.lingering = true
+		play.result = &resp
+		play.expire = time.AfterFunc(2*s.clusterTimeout(), func() { s.releaseClusterPlay(req.ClusterID) })
+		s.clusterMu.Unlock()
+		s.clusterHosted.Add(1)
+		return resp
+	}
+
+	if req.Async {
+		if err := s.pool.TrySubmit(func(int) {
+			resp := run()
+			// The terminal event delivers the outcomes under the cluster
+			// id — the async contract (GET /v1/events?session={cluster_id}).
+			s.publish(kindSession, req.ClusterID, StateDone, resp)
+		}); err != nil {
+			rollback()
+			return api.ClusterStartResponse{}, err
+		}
+		return api.ClusterStartResponse{ClusterID: req.ClusterID, Accepted: true}, nil
+	}
+	done := make(chan api.ClusterStartResponse, 1)
+	if err := s.pool.TrySubmit(func(int) { done <- run() }); err != nil {
+		rollback()
+		return api.ClusterStartResponse{}, err
+	}
+	return <-done, nil
 }
 
 // runClusterNodes runs a set of local nodes against a complete address
@@ -408,17 +467,32 @@ func groupPeers(peers []api.PeerSpec) (addrs []string, byAddr map[string][]int) 
 	return addrs, byAddr
 }
 
+// peerError wraps a peer call's failure with the failing daemon's
+// address — in the message and as a structured detail — so the error
+// envelope a client eventually sees names the peer that failed.
+func peerError(op, addr string, err error) error {
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		return api.Errorf(ce.Err.Code, "cluster %s %s: %s", op, addr, ce.Err.Message).WithDetail("peer", addr)
+	}
+	return api.Errorf(api.CodeInternal, "cluster %s %s: %v", op, addr, err).WithDetail("peer", addr)
+}
+
 // runCluster plays one session across several daemons: it is to cluster
 // mode what runWire is to the single-process mesh. The coordinator hosts
 // the players no peer claimed, invites each peer daemon over the typed
-// SDK, distributes the merged address table, and folds every daemon's
-// terminal player states into one async.Result — which then resolves
-// through mediator.ResolveMoves exactly like any other play.
-func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Duration) (game.Profile, *async.Result, error) {
+// SDK (all joins in parallel, each bounded by the join timeout),
+// distributes the merged address table, starts every peer asynchronously
+// (outcomes delivered over the peer's event bus), and folds every
+// daemon's terminal player states into one async.Result — which then
+// resolves through mediator.ResolveMoves exactly like any other play.
+// peers is the resolved assignment: the spec's literal peer list, or the
+// placement scheduler's output for a placement:"auto" session.
+func (s *Service) runCluster(sess *Session, types []game.Type, peers []api.PeerSpec, timeout time.Duration) (game.Profile, *async.Result, error) {
 	params := sess.Params()
 	n := params.Game.N
 	clusterID := fmt.Sprintf("%s.%d", sess.ID, sess.Seed())
-	peerAddrs, byAddr := groupPeers(sess.Spec.Peers)
+	peerAddrs, byAddr := groupPeers(peers)
 
 	remote := make(map[int]bool)
 	for _, players := range byAddr {
@@ -473,13 +547,24 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 		addrs[p] = node.Addr()
 	}
 
-	// Invite every peer daemon; each answers with its players' transport
-	// addresses. The calls ride the SDK's idempotent retry, so a blip on
-	// the control plane does not fail the play.
+	// Invite every peer daemon in parallel; each answers with its
+	// players' transport addresses. The fan-out costs max(join), not the
+	// sum — one slow daemon cannot serialize the whole handshake — and
+	// each join is separately bounded by the configured join timeout. The
+	// calls ride the SDK's idempotent retry under keys derived from the
+	// cluster id, so a blip on the control plane does not fail the play
+	// and even a restarted coordinator's retry replays.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*timeout+30*time.Second)
 	defer cancel()
 	clients := make(map[string]*client.Client, len(peerAddrs))
-	joined := make([]string, 0, len(peerAddrs))
+	for _, addr := range peerAddrs {
+		cl, err := client.New(addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: cluster peer %s: %w", addr, err)
+		}
+		clients[addr] = cl
+	}
+	var joined []string
 	defer func() {
 		// Release every joined peer's lingering transports now that all
 		// outcomes (or the failure) are in hand. Best effort: a peer we
@@ -490,38 +575,63 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 			fcancel()
 		}
 	}()
-	for _, addr := range peerAddrs {
-		cl, err := client.New(addr)
-		if err != nil {
-			return nil, nil, fmt.Errorf("service: cluster peer %s: %w", addr, err)
-		}
-		clients[addr] = cl
-		resp, err := cl.ClusterJoin(ctx, api.ClusterJoinRequest{
-			ClusterID: clusterID,
-			Spec:      sess.Spec,
-			Types:     intTypes(types),
-			Players:   byAddr[addr],
-			Seed:      sess.Seed(),
-			TraceID:   traceID,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("service: cluster join %s: %w", addr, err)
+	joinStart := time.Now()
+	joinErrs := make([]error, len(peerAddrs))
+	joinAddrs := make([][]string, len(peerAddrs))
+	var joinWG sync.WaitGroup
+	for i, addr := range peerAddrs {
+		i, addr := i, addr
+		joinWG.Add(1)
+		go func() {
+			defer joinWG.Done()
+			jctx, jcancel := context.WithTimeout(ctx, s.cfg.JoinTimeout)
+			defer jcancel()
+			resp, err := clients[addr].ClusterJoin(jctx, api.ClusterJoinRequest{
+				ClusterID: clusterID,
+				Spec:      sess.Spec,
+				Types:     intTypes(types),
+				Players:   byAddr[addr],
+				Seed:      sess.Seed(),
+				TraceID:   traceID,
+			})
+			if err != nil {
+				joinErrs[i] = peerError("join", addr, err)
+				return
+			}
+			if len(resp.Addrs) != n {
+				joinErrs[i] = api.Errorf(api.CodeInternal, "cluster join %s: %d addrs for n=%d", addr, len(resp.Addrs), n).WithDetail("peer", addr)
+				return
+			}
+			joinAddrs[i] = resp.Addrs
+		}()
+	}
+	joinWG.Wait()
+	if s.joinHist != nil {
+		s.joinHist.Observe(time.Since(joinStart).Seconds())
+	}
+	// Successful joins are released on exit even when a sibling failed.
+	for i, addr := range peerAddrs {
+		if joinErrs[i] != nil {
+			continue
 		}
 		joined = append(joined, addr)
-		if len(resp.Addrs) != n {
-			return nil, nil, fmt.Errorf("service: cluster join %s: %d addrs for n=%d", addr, len(resp.Addrs), n)
+	}
+	for i, addr := range peerAddrs {
+		if err := joinErrs[i]; err != nil {
+			return nil, nil, fmt.Errorf("service: %w", err)
 		}
 		for _, p := range byAddr[addr] {
-			if resp.Addrs[p] == "" {
+			if joinAddrs[i][p] == "" {
 				return nil, nil, fmt.Errorf("service: cluster join %s: no address for player %d", addr, p)
 			}
-			addrs[p] = resp.Addrs[p]
+			addrs[p] = joinAddrs[i][p]
 		}
 	}
 
-	// Start every daemon's players concurrently: peers over HTTP, local
-	// nodes in-process. Each start blocks until that daemon's players
-	// terminate and carries their outcomes back.
+	// Start every daemon's players concurrently: peers over the async
+	// start protocol (the outcome arrives as a terminal event on the
+	// peer's bus, so no HTTP connection is held for the play's duration),
+	// local nodes in-process.
 	type startReply struct {
 		addr string
 		resp api.ClusterStartResponse
@@ -531,7 +641,10 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 	for _, addr := range peerAddrs {
 		addr := addr
 		go func() {
-			resp, err := clients[addr].ClusterStart(ctx, api.ClusterStartRequest{ClusterID: clusterID, Addrs: addrs})
+			resp, err := s.startPeer(ctx, clients[addr], clusterID, addrs)
+			if err != nil {
+				err = peerError("start", addr, err)
+			}
 			replies <- startReply{addr: addr, resp: resp, err: err}
 		}()
 	}
@@ -587,7 +700,7 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 		r := <-replies
 		if r.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("service: cluster start %s: %w", r.addr, r.err)
+				firstErr = fmt.Errorf("service: %w", r.err)
 			}
 			continue
 		}
@@ -603,6 +716,37 @@ func (s *Service) runCluster(sess *Session, types []game.Type, timeout time.Dura
 	}
 	prof := mediator.ResolveMoves(params.Game, types, res, params.Approach)
 	return prof, res, nil
+}
+
+// startPeer runs one peer daemon's players via the async start protocol:
+// subscribe to the peer's event bus under the cluster id FIRST (so the
+// terminal event cannot be missed), post the start with Async set, then
+// wait for the outcome event. A peer that answers with the outcomes
+// inline — a replay of an already-gathered start — short-circuits.
+func (s *Service) startPeer(ctx context.Context, cl *client.Client, clusterID string, addrs []string) (api.ClusterStartResponse, error) {
+	es, err := cl.StreamEvents(ctx, client.StreamOptions{Session: clusterID})
+	if err != nil {
+		return api.ClusterStartResponse{}, err
+	}
+	defer es.Close()
+	resp, err := cl.ClusterStart(ctx, api.ClusterStartRequest{ClusterID: clusterID, Addrs: addrs, Async: true})
+	if err != nil || !resp.Accepted {
+		return resp, err
+	}
+	for {
+		ev, err := es.Next()
+		if err != nil {
+			return api.ClusterStartResponse{}, err
+		}
+		if !ev.Terminal || ev.ID != clusterID {
+			continue
+		}
+		var out api.ClusterStartResponse
+		if err := json.Unmarshal(ev.Data, &out); err != nil {
+			return api.ClusterStartResponse{}, fmt.Errorf("bad terminal event payload: %w", err)
+		}
+		return out, nil
+	}
 }
 
 // intTypes converts a game type profile to the contract's ints.

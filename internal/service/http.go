@@ -12,6 +12,7 @@ import (
 	"asyncmediator/api"
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/pool"
+	"asyncmediator/internal/sched"
 	"asyncmediator/internal/sim"
 )
 
@@ -52,6 +53,10 @@ func apiError(err error, fallback api.ErrorCode) *api.Error {
 		return api.Errorf(api.CodePoolSaturated, "%v", err)
 	case errors.Is(err, pool.ErrClosed):
 		return api.Errorf(api.CodeNotReady, "%v", err)
+	case errors.Is(err, sched.ErrInfeasible):
+		return api.Errorf(api.CodePlacementInfeasible, "%v", err)
+	case errors.Is(err, sched.ErrUnderFloor):
+		return api.Errorf(api.CodeFleetUnderFloor, "%v", err)
 	default:
 		return api.Errorf(fallback, "%v", err)
 	}
@@ -72,6 +77,7 @@ func apiError(err error, fallback api.ErrorCode) *api.Error {
 //	GET  /v1/jobs/{id}            job snapshot; ?wait= long-polls
 //	POST /v1/cluster/join         co-host a play (daemon-to-daemon)
 //	POST /v1/cluster/start        run co-hosted players to termination
+//	POST /v1/cluster/plan         dry-run the placement scheduler
 //	GET  /v1/stats                farm-wide aggregate statistics
 //
 // plus unversioned infrastructure (GET /metrics Prometheus exposition,
@@ -84,7 +90,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	// The versioned contract.
-	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.idempotent(s.handleSessionCreate))
+	mux.HandleFunc("POST "+api.Prefix+"/sessions", s.idempotentDurable(s.handleSessionCreate))
 	mux.HandleFunc("GET "+api.Prefix+"/sessions", s.handleSessionList)
 	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("GET "+api.Prefix+"/sessions/{id}/trace", s.handleSessionTrace)
@@ -94,13 +100,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET "+api.Prefix+"/experiments/{name}", func(w http.ResponseWriter, r *http.Request) {
 		s.serveExperimentSync(w, r, r.PathValue("name"))
 	})
-	mux.HandleFunc("POST "+api.Prefix+"/jobs", s.idempotent(s.handleJobCreate))
+	mux.HandleFunc("POST "+api.Prefix+"/jobs", s.idempotentDurable(s.handleJobCreate))
 	mux.HandleFunc("GET "+api.Prefix+"/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		s.serveExperimentJob(w, r, r.PathValue("id"))
 	})
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/join", s.idempotent(s.handleClusterJoin))
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/start", s.idempotent(s.handleClusterStart))
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/finish", s.idempotent(s.handleClusterFinish))
+	mux.HandleFunc("POST "+api.Prefix+"/cluster/plan", s.idempotent(s.handleClusterPlan))
 	mux.HandleFunc("GET "+api.Prefix+"/cluster/fleet", s.handleFleet)
 	mux.HandleFunc("GET "+api.Prefix+"/stats", s.handleStats)
 
@@ -152,8 +159,14 @@ func (s *Service) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-// handleClusterStart answers POST /v1/cluster/start: it blocks while the
-// local players run and returns their terminal outcomes.
+// handleClusterStart answers POST /v1/cluster/start. Synchronous starts
+// block while the local players run and return their terminal outcomes.
+// With async set the call answers 202 {accepted:true} immediately and
+// the outcomes ride a terminal session-kind event under the cluster id.
+// The accept is flagged no-store for the idempotency cache: caching it
+// would make a keyed retry wait on an event that may never come again;
+// instead the retry re-enters ClusterStart, which replays the gathered
+// result itself.
 func (s *Service) handleClusterStart(w http.ResponseWriter, r *http.Request) {
 	var req api.ClusterStartRequest
 	if e := decodeBody(w, r, &req); e != nil {
@@ -163,6 +176,11 @@ func (s *Service) handleClusterStart(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.ClusterStart(req)
 	if err != nil {
 		writeAPIError(w, apiError(err, api.CodeInvalidArgument))
+		return
+	}
+	if resp.Accepted {
+		w.Header().Set(idemNoStoreHeader, "1")
+		writeJSON(w, http.StatusAccepted, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -38,6 +38,14 @@ func (s *Service) writeMetrics(w http.ResponseWriter, sv StatsView) {
 	counter("mediatord_steps_total", "Simulation steps executed across all plays.", sv.Steps)
 	counter("mediatord_shed_intervals_total", "Entries into load-shedding readiness (queue at or above the watermark).", sv.ShedIntervals)
 	counter("mediatord_cluster_plays_hosted_total", "Plays co-hosted for remote coordinators (cluster mode).", sv.ClusterPlaysHosted)
+	placed, rejects := s.placementCounts()
+	counter("mediatord_placements_total", "Sessions placed by the fleet scheduler (placement mode auto).", placed)
+	if len(rejects) > 0 {
+		fmt.Fprintf(&sb, "# HELP mediatord_placement_rejections_total Placements the scheduler refused, by reason.\n# TYPE mediatord_placement_rejections_total counter\n")
+		for _, reason := range sortedKeys(rejects) {
+			fmt.Fprintf(&sb, "mediatord_placement_rejections_total{reason=%q} %d\n", reason, rejects[reason])
+		}
+	}
 	gauge("mediatord_sessions_live", "Sessions currently held in memory.", float64(sv.SessionsLive))
 	gauge("mediatord_sessions_persisted", "Session records in the durable store.", float64(sv.SessionsPersisted))
 	gauge("mediatord_queue_depth", "Jobs queued behind the worker pool.", float64(sv.QueueDepth))

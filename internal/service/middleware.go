@@ -5,11 +5,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"asyncmediator/api"
+	"asyncmediator/internal/store"
 )
 
 // ctxKey keys the request-scoped values this package stores in contexts.
@@ -136,23 +139,66 @@ type idemEntry struct {
 	contentType string
 	body        []byte
 	stored      bool // false: the outcome was transient and not cached
+	durable     bool // true: the outcome is mirrored in the durable store
 }
 
 // idemCache is the farm's keyed-response store behind the
 // Idempotency-Key header: a bounded FIFO map with single-flight
-// semantics per key.
+// semantics per key. With a durable store attached, create responses are
+// mirrored to it under the idem- key prefix, so a keyed create replays
+// across a daemon restart.
 type idemCache struct {
 	mu      sync.Mutex
 	cap     int
+	st      *store.Store // nil: memory-only
 	entries map[string]*idemEntry
 	order   []string
 }
 
-func newIdemCache(cap int) *idemCache {
+func newIdemCache(cap int, st *store.Store) *idemCache {
 	if cap < 1 {
 		cap = 1
 	}
-	return &idemCache{cap: cap, entries: make(map[string]*idemEntry)}
+	return &idemCache{cap: cap, st: st, entries: make(map[string]*idemEntry)}
+}
+
+// recover loads the previous generation's durable keyed responses into
+// the cache (as completed entries), so a client retrying a create over a
+// daemon restart replays instead of re-creating. Entries beyond the cap
+// are dropped from cache and store alike, oldest key first.
+func (c *idemCache) recover() {
+	if c.st == nil {
+		return
+	}
+	type rec struct {
+		key  string
+		data []byte
+	}
+	var recs []rec
+	_ = c.st.Scan(idemKeyPrefix, func(key string, data []byte) error {
+		recs = append(recs, rec{key: key, data: append([]byte(nil), data...)})
+		return nil
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	for _, r := range recs {
+		key := strings.TrimPrefix(r.key, idemKeyPrefix)
+		var ir idemRecord
+		if err := unmarshalView(r.data, &ir); err != nil || len(c.entries) >= c.cap {
+			_ = c.st.Delete(r.key)
+			continue
+		}
+		e := &idemEntry{
+			done:        make(chan struct{}),
+			status:      ir.Status,
+			contentType: ir.ContentType,
+			body:        ir.Body,
+			stored:      true,
+			durable:     true,
+		}
+		close(e.done)
+		c.entries[key] = e
+		c.order = append(c.order, key)
+	}
 }
 
 // begin claims a key: the first caller becomes the owner (executes the
@@ -184,6 +230,9 @@ func (c *idemCache) begin(key string) (*idemEntry, bool) {
 			select {
 			case <-e2.done:
 				delete(c.entries, k)
+				if e2.durable && c.st != nil {
+					_ = c.st.Delete(idemKeyPrefix + k)
+				}
 				evicted = true
 			default:
 				c.order = append(c.order, k) // in flight: keep
@@ -197,13 +246,23 @@ func (c *idemCache) begin(key string) (*idemEntry, bool) {
 }
 
 // finish records the owner's outcome. Transient failures (5xx,
-// backpressure) are not cached: the key is released so a retry truly
-// re-executes. The release checks entry identity, so it can never
-// remove a newer entry that has since claimed the same key.
-func (c *idemCache) finish(key string, e *idemEntry, status int, contentType string, body []byte) {
-	cacheIt := status < http.StatusInternalServerError && status != http.StatusServiceUnavailable
+// backpressure) and handler-flagged no-store responses are not cached:
+// the key is released so a retry truly re-executes. The release checks
+// entry identity, so it can never remove a newer entry that has since
+// claimed the same key. With durable set (and a store attached), a
+// cached outcome is also persisted, so it replays across a restart.
+func (c *idemCache) finish(key string, e *idemEntry, status int, contentType string, body []byte, cacheIt, durable bool) {
+	cacheIt = cacheIt && status < http.StatusInternalServerError && status != http.StatusServiceUnavailable
+	durable = durable && cacheIt && c.st != nil
+	if durable {
+		if data, err := marshalView(idemRecord{Status: status, ContentType: contentType, Body: body}); err == nil {
+			durable = c.st.Put(idemKeyPrefix+key, data) == nil
+		} else {
+			durable = false
+		}
+	}
 	c.mu.Lock()
-	e.status, e.contentType, e.body, e.stored = status, contentType, body, cacheIt
+	e.status, e.contentType, e.body, e.stored, e.durable = status, contentType, body, cacheIt, durable
 	if !cacheIt {
 		if cur, ok := c.entries[key]; ok && cur == e {
 			delete(c.entries, key)
@@ -236,11 +295,34 @@ func (r *responseRecorder) Write(b []byte) (int, error) {
 	return r.buf.Write(b)
 }
 
+// idemNoStoreHeader is an internal response header a handler sets to
+// opt a specific response out of idempotency caching. The async cluster
+// start accept uses it: caching {accepted:true} would make a keyed
+// retry after a coordinator restart hang forever waiting for a terminal
+// event that no longer has a play behind it — the retry must instead
+// reach the service layer, which replays the gathered result itself.
+// The wrapper strips the header before the response leaves the daemon.
+const idemNoStoreHeader = "X-Mediator-Idem-No-Store"
+
 // idempotent wraps a POST handler in the Idempotency-Key protocol: a
 // keyed request executes at most once; repeats (including concurrent
 // ones) replay the first completed response, flagged with the
 // Idempotency-Replayed header. Unkeyed requests pass straight through.
+// The cache is memory-only: a daemon restart forgets the key.
 func (s *Service) idempotent(h http.HandlerFunc) http.HandlerFunc {
+	return s.idempotentWith(h, false)
+}
+
+// idempotentDurable is idempotent with the cached response mirrored to
+// the durable store, so a keyed create replays across a daemon restart.
+// Only creates whose effects are themselves persisted (sessions, jobs)
+// should use it: replaying a response whose backing state died with the
+// process would hand the client a view of nothing.
+func (s *Service) idempotentDurable(h http.HandlerFunc) http.HandlerFunc {
+	return s.idempotentWith(h, true)
+}
+
+func (s *Service) idempotentWith(h http.HandlerFunc, durable bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		key := r.Header.Get(api.IdempotencyKeyHeader)
 		if key == "" {
@@ -282,7 +364,9 @@ func (s *Service) idempotent(h http.HandlerFunc) http.HandlerFunc {
 			rec.status = http.StatusOK
 		}
 		body := rec.buf.Bytes()
-		s.idem.finish(key, e, rec.status, rec.hdr.Get("Content-Type"), body)
+		cacheIt := rec.hdr.Get(idemNoStoreHeader) == ""
+		rec.hdr.Del(idemNoStoreHeader)
+		s.idem.finish(key, e, rec.status, rec.hdr.Get("Content-Type"), body, cacheIt, durable)
 		for k, vs := range rec.hdr {
 			for _, v := range vs {
 				w.Header().Add(k, v)

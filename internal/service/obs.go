@@ -191,6 +191,13 @@ func (s *Service) registerObsMetrics() {
 		"Protocol phase latencies (avss.share, rbc, ba, acs.core, mpc.*) folded from play traces.",
 		phaseLatencyBounds)
 
+	// Cluster join fan-out: wall time of the parallel join phase per
+	// coordinated play (max over peers, not the sum — the scheduler's
+	// parallelism claim is visible here).
+	s.joinHist = r.Histogram("mediatord_cluster_join_fanout_seconds",
+		"Wall time of the parallel cluster-join fan-out per coordinated play.",
+		phaseLatencyBounds)
+
 	// Process health: shed state as a live 0/1 gauge (the cumulative
 	// mediatord_shed_intervals_total says how often; this says "now"),
 	// plus Go runtime series.

@@ -13,7 +13,17 @@ import (
 const (
 	sessionKeyPrefix    = "s-"
 	experimentKeyPrefix = "x-"
+	// idemKeyPrefix namespaces the durable idempotency mirror: keyed
+	// create responses persisted so a retry replays across a restart.
+	idemKeyPrefix = "idem-"
 )
+
+// idemRecord is the persisted form of one cached keyed response.
+type idemRecord struct {
+	Status      int    `json:"status"`
+	ContentType string `json:"content_type,omitempty"`
+	Body        []byte `json:"body,omitempty"`
+}
 
 // viewRecVersion versions the persisted view encodings. The byte is the
 // serialization contract between daemon generations: a record whose

@@ -32,6 +32,7 @@ import (
 	"asyncmediator/internal/game"
 	"asyncmediator/internal/obs"
 	"asyncmediator/internal/pool"
+	"asyncmediator/internal/sched"
 	"asyncmediator/internal/sim"
 	"asyncmediator/internal/store"
 	"asyncmediator/internal/wire"
@@ -69,6 +70,11 @@ type Config struct {
 	MaxN int
 	// WireTimeout bounds a wire-backend session (default 60s).
 	WireTimeout time.Duration
+	// JoinTimeout bounds each cluster-mode join call a coordinator makes
+	// against a peer daemon (default 30s). Joins fan out in parallel, so
+	// it also bounds the whole join phase — one slow peer cannot stall
+	// the play for the full wire timeout.
+	JoinTimeout time.Duration
 	// DataDir enables the durable store: terminal sessions and experiment
 	// jobs persist to a WAL + snapshot pair there and survive restarts.
 	// Empty means memory-only (the pre-durability behaviour).
@@ -139,6 +145,9 @@ func (c *Config) normalize() {
 	if c.WireTimeout == 0 {
 		c.WireTimeout = 60 * time.Second
 	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
 }
 
 // Service is the session farm.
@@ -199,6 +208,16 @@ type Service struct {
 	// (one fold per terminal session); its p99 rides the fleet gossip.
 	phaseHist *obs.Histogram
 
+	// joinHist times the cluster join fan-out (all parallel peer joins of
+	// one play, wall clock).
+	joinHist *obs.Histogram
+
+	// Placement control plane counters: successful scheduler decisions
+	// and refusals by reason, for /metrics.
+	placeMu      sync.Mutex
+	placements   int64
+	placeRejects map[string]int64
+
 	// fleet is the gossip-mesh runtime (nil without FleetListen).
 	fleet *fleetState
 
@@ -244,8 +263,13 @@ func New(cfg Config) (*Service, error) {
 		clusterPlays: make(map[string]*clusterPlay),
 		clusterNodes: make(map[*wire.Node]struct{}),
 		clusterTLS:   clusterTLS,
-		idem:         newIdemCache(1024),
+		idem:         newIdemCache(1024, st),
+		placeRejects: make(map[string]int64),
 	}
+	// Keyed create responses recorded by the previous generation replay
+	// across the restart (Idempotency-Replayed), so a client retrying a
+	// create over the crash cannot double it.
+	s.idem.recover()
 	s.exps = make(map[string]*ExpJob)
 	s.recoverExperiments()
 	s.pool = pool.New(cfg.Workers, cfg.QueueDepth)
@@ -399,9 +423,22 @@ func (s *Service) exec(worker int, sess *Session) {
 		res  *async.Result
 		err  error
 	)
+	// Placement resolves at execution time against the fleet view of that
+	// moment: the scheduler pins any caller-supplied peers and fills the
+	// remaining players across healthy daemons. A refused placement fails
+	// the session with the scheduler's error.
+	peers := sess.Spec.Peers
+	if sess.Spec.Placement != nil {
+		var pl sched.Placement
+		if pl, err = s.placeSession(sess.Spec, sess.params.Game.N); err == nil {
+			sess.setPlacement(&pl)
+			peers = pl.Peers
+		}
+	}
 	switch {
-	case len(sess.Spec.Peers) > 0:
-		prof, res, err = s.runCluster(sess, types, s.cfg.WireTimeout)
+	case err != nil: // placement refused; nothing ran
+	case len(peers) > 0:
+		prof, res, err = s.runCluster(sess, types, peers, s.cfg.WireTimeout)
 	case sess.Spec.Backend == "wire":
 		prof, res, err = runWire(sess, types, s.cfg.WireTimeout)
 	default:

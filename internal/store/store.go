@@ -54,6 +54,11 @@ const (
 
 	// recVersion is the record payload format version.
 	recVersion = 1
+	// tombVersion marks a deletion record: same layout as recVersion but
+	// with no data bytes; replaying one removes the key from the index.
+	// v1-only readers reject it as unknown, which is the right failure —
+	// they would otherwise resurrect deleted keys.
+	tombVersion = 2
 
 	defaultCompactEvery = 1024
 )
@@ -71,10 +76,12 @@ type Config struct {
 	CompactEvery int
 }
 
-// Record is one keyed entry. Data is opaque to the store.
+// Record is one keyed entry. Data is opaque to the store. Tombstone marks
+// a deletion record (no data); replaying one removes the key.
 type Record struct {
-	Key  string
-	Data []byte
+	Key       string
+	Data      []byte
+	Tombstone bool
 }
 
 // MarshalBinary renders the record payload (version | keyLen | key | data).
@@ -85,8 +92,15 @@ func (r Record) MarshalBinary() ([]byte, error) {
 	if len(r.Key) > 0xFFFF {
 		return nil, fmt.Errorf("store: key of %d bytes exceeds the 64KiB bound", len(r.Key))
 	}
+	version := byte(recVersion)
+	if r.Tombstone {
+		if len(r.Data) != 0 {
+			return nil, errors.New("store: tombstone record carries data")
+		}
+		version = tombVersion
+	}
 	buf := make([]byte, 0, 3+len(r.Key)+len(r.Data))
-	buf = append(buf, recVersion)
+	buf = append(buf, version)
 	var kl [2]byte
 	binary.LittleEndian.PutUint16(kl[:], uint16(len(r.Key)))
 	buf = append(buf, kl[:]...)
@@ -100,7 +114,7 @@ func (r *Record) UnmarshalBinary(b []byte) error {
 	if len(b) < 3 {
 		return errors.New("store: record payload too short")
 	}
-	if b[0] != recVersion {
+	if b[0] != recVersion && b[0] != tombVersion {
 		return fmt.Errorf("store: unknown record version %d", b[0])
 	}
 	kl := int(binary.LittleEndian.Uint16(b[1:3]))
@@ -108,6 +122,14 @@ func (r *Record) UnmarshalBinary(b []byte) error {
 		return errors.New("store: record key length out of range")
 	}
 	r.Key = string(b[3 : 3+kl])
+	r.Tombstone = b[0] == tombVersion
+	if r.Tombstone {
+		if len(b) != 3+kl {
+			return errors.New("store: tombstone record carries data")
+		}
+		r.Data = nil
+		return nil
+	}
 	r.Data = append([]byte(nil), b[3+kl:]...)
 	return nil
 }
@@ -239,7 +261,11 @@ func (s *Store) apply(payload []byte) error {
 	if err := rec.UnmarshalBinary(payload); err != nil {
 		return err
 	}
-	s.index[rec.Key] = rec.Data
+	if rec.Tombstone {
+		delete(s.index, rec.Key)
+	} else {
+		s.index[rec.Key] = rec.Data
+	}
 	s.sorted = nil
 	return nil
 }
@@ -311,6 +337,38 @@ func (s *Store) Put(key string, data []byte) error {
 		s.sorted = nil
 	}
 	s.index[key] = append([]byte(nil), data...)
+	s.walRecords++
+	s.appends++
+	if s.walRecords >= s.compactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Delete appends a tombstone for key and drops it from the index. Deleting
+// an absent key is a no-op (no WAL record). The next compaction omits the
+// key entirely, so tombstones do not accumulate in the snapshot.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	payload, err := Record{Key: key, Tombstone: true}.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(s.w, payload); err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	delete(s.index, key)
+	s.sorted = nil
 	s.walRecords++
 	s.appends++
 	if s.walRecords >= s.compactEvery {

@@ -304,3 +304,82 @@ func TestConcurrentPuts(t *testing.T) {
 		t.Fatalf("reopen len %d", s2.Len())
 	}
 }
+
+// TestDeleteTombstonesSurviveReplayAndCompaction pins the deletion
+// contract: a delete removes the key now, survives a reopen as a WAL
+// tombstone, and vanishes entirely from the compacted snapshot.
+func TestDeleteTombstonesSurviveReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	put(t, s, "idem-a", "resp-a")
+	put(t, s, "idem-b", "resp-b")
+	if err := s.Delete("idem-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("idem-a"); ok {
+		t.Fatal("deleted key still readable")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after delete, want 1", s.Len())
+	}
+	// Deleting an absent key is a no-op and appends nothing.
+	before := s.Metrics().WALAppends
+	if err := s.Delete("idem-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().WALAppends; got != before {
+		t.Fatalf("no-op delete appended: %d -> %d", before, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay applies the tombstone: the key stays gone across a reopen.
+	s2 := open(t, dir, 0)
+	if _, ok := s2.Get("idem-a"); ok {
+		t.Fatal("deleted key resurrected by replay")
+	}
+	if got, ok := s2.Get("idem-b"); !ok || string(got) != "resp-b" {
+		t.Fatalf("surviving key: %q %v", got, ok)
+	}
+	// Compaction writes only live keys; the tombstone does not persist.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open(t, dir, 0)
+	defer s3.Close()
+	rec := s3.Recovery()
+	if rec.SnapshotRecords != 1 || rec.WALRecords != 0 {
+		t.Fatalf("post-compaction recovery %+v, want 1 snapshot record", rec)
+	}
+	if _, ok := s3.Get("idem-a"); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+}
+
+// TestTombstoneRecordBinaryRoundTrip pins the version-2 payload shape.
+func TestTombstoneRecordBinaryRoundTrip(t *testing.T) {
+	b, err := Record{Key: "k1", Tombstone: true}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != tombVersion {
+		t.Fatalf("tombstone version byte %d", b[0])
+	}
+	var r Record
+	if err := r.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tombstone || r.Key != "k1" || r.Data != nil {
+		t.Fatalf("round trip: %+v", r)
+	}
+	if _, err := (Record{Key: "k", Data: []byte("x"), Tombstone: true}).MarshalBinary(); err == nil {
+		t.Fatal("tombstone with data must be rejected")
+	}
+	if err := new(Record).UnmarshalBinary(append(b, 'x')); err == nil {
+		t.Fatal("tombstone payload with trailing data must be rejected")
+	}
+}

@@ -39,6 +39,12 @@ var (
 	ErrPoolSaturated = errors.New("client: pool saturated")
 	// ErrNotReady: the daemon is booting or draining.
 	ErrNotReady = errors.New("client: daemon not ready")
+	// ErrPlacementInfeasible: the spec violates the paper's n > 4k+3t
+	// placement floor (or is otherwise unplaceable on any fleet).
+	ErrPlacementInfeasible = errors.New("client: placement infeasible")
+	// ErrFleetUnderFloor: the fleet is currently too small or unhealthy
+	// for the requested placement; retry after it recovers.
+	ErrFleetUnderFloor = errors.New("client: fleet under placement floor")
 	// ErrInternal: the server faulted (or answered with an unknown code).
 	ErrInternal = errors.New("client: internal server error")
 )
@@ -56,6 +62,10 @@ func sentinel(code api.ErrorCode) error {
 		return ErrPoolSaturated
 	case api.CodeNotReady:
 		return ErrNotReady
+	case api.CodePlacementInfeasible:
+		return ErrPlacementInfeasible
+	case api.CodeFleetUnderFloor:
+		return ErrFleetUnderFloor
 	default:
 		return ErrInternal
 	}
@@ -175,16 +185,24 @@ func retryable(method string, idemKey string, err error) bool {
 // decoded 2xx response. Every POST is stamped with a fresh
 // Idempotency-Key that stays fixed across its retries.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+	idemKey := ""
+	if method == http.MethodPost {
+		idemKey = c.nextIdempotencyKey()
+	}
+	return c.doKeyed(ctx, method, path, query, idemKey, body, out)
+}
+
+// doKeyed is do with a caller-chosen Idempotency-Key (empty: unkeyed).
+// Deterministic keys — derived from the resource rather than minted —
+// make a retry replay server-side even across a new client instance: the
+// cluster calls derive theirs from the cluster id for exactly that.
+func (c *Client) doKeyed(ctx context.Context, method, path string, query url.Values, idemKey string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
 		if payload, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-	}
-	idemKey := ""
-	if method == http.MethodPost {
-		idemKey = c.nextIdempotencyKey()
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {

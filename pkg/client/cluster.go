@@ -7,23 +7,32 @@ import (
 	"asyncmediator/api"
 )
 
+// The cluster calls use deterministic Idempotency-Keys derived from the
+// cluster id rather than per-call minted ones: a cluster id names exactly
+// one play, so any retry of its join/start/finish — even from a freshly
+// restarted coordinator holding a brand-new client — replays the daemon's
+// cached response instead of re-executing.
+
 // ClusterJoin invites the daemon to co-host a play: it binds one
 // transport listener per named player and answers with their addresses.
 // The call is idempotency-keyed, so the built-in retry is safe over
 // transport failures.
 func (c *Client) ClusterJoin(ctx context.Context, req api.ClusterJoinRequest) (api.ClusterJoinResponse, error) {
 	var resp api.ClusterJoinResponse
-	err := c.do(ctx, http.MethodPost, "/v1/cluster/join", nil, req, &resp)
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/cluster/join", nil, "cluster-join-"+req.ClusterID, req, &resp)
 	return resp, err
 }
 
-// ClusterStart hands the daemon the complete player->address table; it
-// blocks while the daemon's local players run and returns their terminal
-// outcomes. Also idempotency-keyed: a retried start replays the first
-// completed response rather than re-running the play.
+// ClusterStart hands the daemon the complete player->address table. A
+// synchronous start blocks while the daemon's local players run and
+// returns their terminal outcomes; with req.Async set, the daemon
+// answers Accepted immediately and the outcomes arrive as a terminal
+// session-kind event under the cluster id (StreamEvents). Also
+// idempotency-keyed: a retried start replays the first completed
+// response rather than re-running the play.
 func (c *Client) ClusterStart(ctx context.Context, req api.ClusterStartRequest) (api.ClusterStartResponse, error) {
 	var resp api.ClusterStartResponse
-	err := c.do(ctx, http.MethodPost, "/v1/cluster/start", nil, req, &resp)
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/cluster/start", nil, "cluster-start-"+req.ClusterID, req, &resp)
 	return resp, err
 }
 
@@ -32,7 +41,18 @@ func (c *Client) ClusterStart(ctx context.Context, req api.ClusterStartRequest) 
 // successful no-op (Released false), so this retries safely.
 func (c *Client) ClusterFinish(ctx context.Context, req api.ClusterFinishRequest) (api.ClusterFinishResponse, error) {
 	var resp api.ClusterFinishResponse
-	err := c.do(ctx, http.MethodPost, "/v1/cluster/finish", nil, req, &resp)
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/cluster/finish", nil, "cluster-finish-"+req.ClusterID, req, &resp)
+	return resp, err
+}
+
+// ClusterPlan dry-runs the daemon's placement scheduler: the assignment
+// a session created with this spec would get against the current fleet
+// view, without creating anything. Infeasible specs yield
+// ErrPlacementInfeasible; a fleet too unhealthy for the requested
+// placement yields ErrFleetUnderFloor.
+func (c *Client) ClusterPlan(ctx context.Context, req api.ClusterPlanRequest) (api.ClusterPlanResponse, error) {
+	var resp api.ClusterPlanResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/plan", nil, req, &resp)
 	return resp, err
 }
 
