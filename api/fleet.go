@@ -54,7 +54,7 @@ type FleetPeer struct {
 // FleetAlert is one firing (or clearing) alert-rule instance.
 type FleetAlert struct {
 	// Rule names the threshold: peer_silent, peer_expired,
-	// queue_saturated, redial_storm, fleet_floor.
+	// queue_saturated, redial_storm, fleet_floor, slo_burn.
 	Rule string `json:"rule"`
 	// Peer is the subject's API URL ("" for fleet-wide rules).
 	Peer string `json:"peer,omitempty"`
@@ -64,6 +64,11 @@ type FleetAlert struct {
 	Message string `json:"message"`
 	// Value is the measured quantity that crossed the threshold.
 	Value float64 `json:"value,omitempty"`
+	// TraceID is an exemplar: for slo_burn, the retained trace id of a
+	// play that breached the objective in the burning window.
+	TraceID string `json:"trace_id,omitempty"`
+	// Session is the exemplar trace's session id.
+	Session string `json:"session,omitempty"`
 	// Cleared marks the condition's end rather than its start.
 	Cleared bool `json:"cleared,omitempty"`
 }

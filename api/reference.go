@@ -39,6 +39,8 @@ func Routes() []Route {
 		{Method: "POST", Path: "/cluster/finish", Summary: "release a finished play's lingering transports once the coordinator gathered every outcome (body: ClusterFinishRequest)"},
 		{Method: "POST", Path: "/cluster/plan", Summary: "dry-run the placement scheduler against the live fleet view: validate the spec and answer the daemon assignment without creating anything (body: ClusterPlanRequest)"},
 		{Method: "GET", Path: "/cluster/fleet", Summary: "this daemon's gossip-derived view of the whole fleet: per-peer health, liveness judgements, firing alerts (FleetView)"},
+		{Method: "GET", Path: "/traces", Summary: "search retained finished-play traces, newest first with cursor pagination; ?fleet=1 fans the query out to every healthy gossiped peer and merges the pages peer-attributed (TracePage)", Query: "variant, phase, min_ms, since, cursor, limit, fleet"},
+		{Method: "GET", Path: "/slo", Summary: "rolling multi-window burn-rate state of every configured SLO objective, exemplar traces included (SLOView)"},
 		{Method: "GET", Path: "/stats", Summary: "farm-wide aggregate statistics (Stats)"},
 		{Method: "GET", Path: "/metrics", Summary: "Prometheus text exposition", Unversioned: true},
 		{Method: "GET", Path: "/healthz", Summary: "liveness: the process is up", Unversioned: true},

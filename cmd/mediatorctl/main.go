@@ -24,8 +24,16 @@
 //	                 just print the job handle), -sync for in-request
 //	experiment get   one job snapshot (-wait long-polls to terminal)
 //	stats            farm-wide aggregate statistics
+//	traces           search the daemon's retained finished-play traces
+//	                 (-variant -phase -min-ms -within -limit -cursor;
+//	                 -fleet merges every gossiped peer's results,
+//	                 peer-attributed; -json for the raw TracePage)
+//	slo              burn-rate state of the configured SLO objectives,
+//	                 exemplar traces included (-json for the raw SLOView)
 //	obs              fleet observability summary: cluster link counters,
 //	                 worker-pool load, durable-store health
+//	obs profiles     list the continuous profiler's capture ring on the
+//	                 daemon's private pprof listener (-pprof URL)
 //	events tail      stream state transitions (-session -kind) as JSON lines
 //	cluster status   fleet table from the daemon's gossip view: per-peer
 //	                 liveness, load, and firing alerts (-watch refreshes,
@@ -121,7 +129,8 @@ var errUsage = errors.New("usage")
 func usage(w io.Writer, fs *flag.FlagSet) {
 	fmt.Fprintln(w, "usage: mediatorctl [flags] <command> [command flags] [args]")
 	fmt.Fprintln(w, "commands: session create|get|list|types|watch|trace, experiment list|run|get,")
-	fmt.Fprintln(w, "          stats, obs, events tail, cluster status|plan|drop, ready, apidoc")
+	fmt.Fprintln(w, "          stats, traces, slo, obs [profiles], events tail,")
+	fmt.Fprintln(w, "          cluster status|plan|drop, ready, apidoc")
 	fmt.Fprintln(w, "flags:")
 	fs.PrintDefaults()
 }
@@ -177,7 +186,14 @@ func dispatch(ctx context.Context, c *client.Client, args []string, stdout, stde
 			return err
 		}
 		return printJSON(stdout, st)
+	case "traces":
+		return tracesSearch(ctx, c, args[1:], stdout, stderr)
+	case "slo":
+		return sloStatus(ctx, c, args[1:], stdout, stderr)
 	case "obs":
+		if len(args) >= 2 && args[1] == "profiles" {
+			return obsProfiles(ctx, args[2:], stdout, stderr)
+		}
 		return obsSummary(ctx, c, stdout)
 	case "events":
 		if len(args) < 2 || args[1] != "tail" {
@@ -565,6 +581,166 @@ func obsSummary(ctx context.Context, c *client.Client, stdout io.Writer) error {
 		Pool:               st.Pool,
 		Store:              st.Store,
 	})
+}
+
+// tracesSearch implements `mediatorctl traces`: search the daemon's
+// retained-trace ring, optionally fanned out fleet-wide.
+func tracesSearch(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	variant := fs.String("variant", "", "keep only this theorem variant")
+	phase := fs.String("phase", "", "keep only traces that spent time in this phase (rbc, ba, avss.share, ...)")
+	minMS := fs.Float64("min-ms", 0, "keep only traces at/above this many milliseconds (the phase's time when -phase is set)")
+	within := fs.Duration("within", 0, "keep only traces finished within this window, e.g. 10m (0: all)")
+	cursor := fs.Int64("cursor", 0, "resume pagination from a previous page's next_cursor")
+	limit := fs.Int("limit", 0, "page size (0: server default)")
+	fleet := fs.Bool("fleet", false, "fan the query out to every healthy gossiped peer and merge, peer-attributed")
+	raw := fs.Bool("json", false, "print the raw TracePage instead of the rendered table")
+	if _, err := parseMixed(fs, args); err != nil {
+		return err
+	}
+	o := client.TracesOptions{
+		Variant: *variant, Phase: *phase, MinMS: *minMS,
+		Cursor: *cursor, Limit: *limit, Fleet: *fleet,
+	}
+	if *within > 0 {
+		o.Since = time.Now().Add(-*within).UnixMilli()
+	}
+	page, err := c.Traces(ctx, o)
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return printJSON(stdout, page)
+	}
+	renderTraces(stdout, page, *phase)
+	return nil
+}
+
+// renderTraces prints a TracePage as a table, newest first, with a
+// pagination footer. When the search filtered on a phase, that phase's
+// folded time gets its own column next to the end-to-end duration.
+func renderTraces(w io.Writer, page api.TracePage, phase string) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	hdr := "SESSION\tTRACE\tVARIANT\tSTATE\tDUR"
+	if phase != "" {
+		hdr += "\t" + strings.ToUpper(phase)
+	}
+	hdr += "\tAGE\tSPANS"
+	if page.Daemons > 1 {
+		hdr += "\tDAEMON"
+	}
+	fmt.Fprintln(tw, hdr)
+	for _, t := range page.Traces {
+		variant := t.Variant
+		if variant == "" {
+			variant = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s", t.Session, t.TraceID, variant, t.State, fmtMS(t.DurationMS))
+		if phase != "" {
+			fmt.Fprintf(tw, "\t%s", fmtMS(t.PhaseMS[phase]))
+		}
+		age := time.Since(time.UnixMilli(t.FinishedUnixMS)).Round(time.Second)
+		fmt.Fprintf(tw, "\t%s\t%d", age, t.Spans)
+		if page.Daemons > 1 {
+			daemon := t.Daemon
+			if daemon == "" {
+				daemon = "(local)"
+			}
+			fmt.Fprintf(tw, "\t%s", daemon)
+		}
+		fmt.Fprintln(tw)
+	}
+	_ = tw.Flush()
+	fmt.Fprintf(w, "%d of %d matching trace(s)", len(page.Traces), page.Total)
+	if page.Daemons > 1 {
+		fmt.Fprintf(w, " across %d daemon(s)", page.Daemons)
+	}
+	if page.NextCursor > 0 {
+		fmt.Fprintf(w, "; next page: -cursor %d", page.NextCursor)
+	}
+	fmt.Fprintln(w)
+	for _, e := range page.Errors {
+		fmt.Fprintf(w, "unreachable: %s\n", e)
+	}
+}
+
+// fmtMS renders a millisecond duration compactly ("0.42ms", "1.2s").
+func fmtMS(ms float64) string {
+	if ms >= 1000 {
+		return fmt.Sprintf("%.1fs", ms/1000)
+	}
+	return fmt.Sprintf("%.2fms", ms)
+}
+
+// sloStatus implements `mediatorctl slo`: the rolling burn-rate state
+// of every configured objective.
+func sloStatus(ctx context.Context, c *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	raw := fs.Bool("json", false, "print the raw SLOView instead of the rendered table")
+	if _, err := parseMixed(fs, args); err != nil {
+		return err
+	}
+	v, err := c.SLO(ctx)
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return printJSON(stdout, v)
+	}
+	tick := time.Duration(v.IntervalMS) * time.Millisecond
+	fmt.Fprintf(stdout, "slo: %d objective(s); windows %s short / %s long (tick %s)\n",
+		len(v.Objectives), tick*time.Duration(v.ShortWindow), tick*time.Duration(v.LongWindow), tick)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "OBJECTIVE\tSHORT\tLONG\tSAMPLES\tSTATE\tEXEMPLAR")
+	for _, o := range v.Objectives {
+		state := "ok"
+		if o.Firing {
+			state = "FIRING"
+		}
+		exemplar := "-"
+		if o.ExemplarSession != "" {
+			exemplar = o.ExemplarSession
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%s\t%s\n",
+			o.Objective, o.ShortBurn, o.LongBurn, o.Samples, state, exemplar)
+	}
+	return tw.Flush()
+}
+
+// obsProfiles implements `mediatorctl obs profiles`: list the continuous
+// profiler's on-disk capture ring. The profiler serves on the daemon's
+// private pprof listener, so this builds its own client against the
+// -pprof base URL rather than reusing the API-address client.
+func obsProfiles(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("obs profiles", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pprofAddr := fs.String("pprof", "http://127.0.0.1:6060", "the daemon's private -pprof-listen base URL")
+	raw := fs.Bool("json", false, "print the raw ProfileList instead of the rendered table")
+	if _, err := parseMixed(fs, args); err != nil {
+		return err
+	}
+	pc, err := client.New(*pprofAddr)
+	if err != nil {
+		return err
+	}
+	list, err := pc.Profiles(ctx)
+	if err != nil {
+		return err
+	}
+	if *raw {
+		return printJSON(stdout, list)
+	}
+	fmt.Fprintf(stdout, "profiles: %d capture(s) in %s, every %s; fetch via GET %s/profiles/{name}\n",
+		len(list.Profiles), list.Dir, time.Duration(list.IntervalMS)*time.Millisecond, *pprofAddr)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tKIND\tSIZE\tAGE")
+	for _, p := range list.Profiles {
+		age := time.Since(time.UnixMilli(p.CreatedUnixMS)).Round(time.Second)
+		fmt.Fprintf(tw, "%s\t%s\t%dB\t%s\n", p.Name, p.Kind, p.SizeBytes, age)
+	}
+	return tw.Flush()
 }
 
 // clusterStatus renders the daemon's fleet view as a live operator

@@ -59,6 +59,20 @@
 //	mediatorctl events tail -kind fleet      # alert-rule transitions
 //	curl -s localhost:8080/v1/cluster/fleet  # the raw FleetView
 //
+// Telemetry retention and SLOs: finished plays' traces are retained on
+// a bounded ring (searchable at GET /v1/traces, surviving restarts with
+// -data-dir), burn-rate objectives alert on the fleet event bus, and
+// -profile-interval arms continuous pprof capture on the private
+// listener:
+//
+//	mediatord -addr :8080 -data-dir /var/lib/mediatord \
+//	    -trace-retention 8192 -slo phase:rbc:p99:250ms,variant:4.1:p95:1s \
+//	    -pprof-listen 127.0.0.1:6060 -profile-interval 5m &
+//	mediatorctl traces -phase rbc -min-ms 5     # search retained traces
+//	mediatorctl slo                             # objective burn rates
+//	mediatorctl obs profiles -pprof http://127.0.0.1:6060
+//	curl -s 'localhost:8080/v1/traces?variant=4.1&limit=10'
+//
 // Or measure throughput without the HTTP layer:
 //
 //	mediatord -bench 512 -workers 8
@@ -79,10 +93,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
 	"asyncmediator/internal/service"
+	"asyncmediator/internal/telemetry"
 )
 
 func main() {
@@ -118,6 +134,13 @@ func run(args []string) error {
 	chaos := fs.Bool("chaos", false, "mount POST /v1/cluster/drop, the fault-injection hook severing live cluster connections (testing only)")
 	pprofListen := fs.String("pprof-listen", "", "bind net/http/pprof on this separate address (empty: disabled; keep it off public interfaces)")
 	noTrace := fs.Bool("no-trace", false, "disable per-play trace collection (GET /v1/sessions/{id}/trace answers 404)")
+	traceRetention := fs.Int("trace-retention", 0, "finished-play traces retained for GET /v1/traces, oldest evicted first (0: default 4096; -1: disabled)")
+	traceRetentionBytes := fs.Int64("trace-retention-bytes", 0, "byte bound of the retained-trace ring (0: default 64 MiB; -1: unbounded)")
+	sloSpecs := fs.String("slo", "", "comma-separated SLO objectives, each <kind>:<selector>:p<quantile>:<threshold> (e.g. phase:rbc:p99:250ms,variant:4.1:p95:1s)")
+	sloInterval := fs.Duration("slo-interval", 0, "SLO burn-rate evaluation tick (0: 5s); windows are 2 and 12 ticks")
+	profileInterval := fs.Duration("profile-interval", 0, "continuous-profiling capture period; writes cpu+heap pprof files to a bounded on-disk ring (0: disabled)")
+	profileDir := fs.String("profile-dir", "", "continuous-profiling ring directory (default <data-dir>/profiles)")
+	profileKeep := fs.Int("profile-keep", 0, "profile files kept on the ring, oldest deleted first (0: default 32)")
 	bench := fs.Int("bench", 0, "run a throughput benchmark of SESSIONS plays and exit")
 	benchGame := fs.String("bench-game", "section64", "benchmark game: section64 or consensus")
 	benchN := fs.Int("bench-n", 5, "benchmark players per session")
@@ -129,6 +152,31 @@ func run(args []string) error {
 		return err
 	}
 
+	// The continuous profiler writes periodic cpu+heap captures to a
+	// bounded on-disk ring; the private pprof mux lists and serves them.
+	var prof *telemetry.Profiler
+	if *profileInterval > 0 {
+		dir := *profileDir
+		if dir == "" {
+			if *dataDir == "" {
+				return fmt.Errorf("-profile-interval needs -profile-dir (or -data-dir to derive it from)")
+			}
+			dir = filepath.Join(*dataDir, "profiles")
+		}
+		var err error
+		prof, err = telemetry.StartProfiler(telemetry.ProfilerConfig{
+			Dir:      dir,
+			Interval: *profileInterval,
+			MaxFiles: *profileKeep,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer prof.Stop()
+		log.Printf("mediatord: continuous profiling every %s to %s", *profileInterval, dir)
+	}
+
 	if *pprofListen != "" {
 		// Explicit handlers on a private mux: importing net/http/pprof for
 		// its handler funcs must not leak /debug/pprof onto any other mux.
@@ -138,6 +186,12 @@ func run(args []string) error {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if prof != nil {
+			// GET /profiles (JSON list) and GET /profiles/{name} (download)
+			// ride the same private listener as the interactive handlers.
+			pm.Handle("/profiles", prof.Handler())
+			pm.Handle("/profiles/", prof.Handler())
+		}
 		go func() {
 			log.Printf("mediatord: pprof listening on %s", *pprofListen)
 			if err := http.ListenAndServe(*pprofListen, pm); err != nil {
@@ -186,6 +240,17 @@ func run(args []string) error {
 		GossipInterval:  *gossipInterval,
 		FleetFloor:      *fleetFloor,
 		FleetSecret:     *fleetSecret,
+
+		TraceRetention:      *traceRetention,
+		TraceRetentionBytes: *traceRetentionBytes,
+		SLOInterval:         *sloInterval,
+	}
+	if *sloSpecs != "" {
+		for _, o := range strings.Split(*sloSpecs, ",") {
+			if o = strings.TrimSpace(o); o != "" {
+				cfg.SLOObjectives = append(cfg.SLOObjectives, o)
+			}
+		}
 	}
 	if *fleetPeers != "" {
 		for _, p := range strings.Split(*fleetPeers, ",") {

@@ -56,6 +56,15 @@ type Histogram struct {
 	sum    Gauge
 }
 
+// NewHistogram builds an unregistered histogram with the given upper
+// bounds (sorted ascending) — for subsystems that window and difference
+// their own series rather than exposing them directly.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -74,37 +83,134 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // by construction — bounded by bucket resolution — which is exactly what
 // a gossiped health summary needs.
 func (h *Histogram) Quantile(q float64) float64 {
-	counts := make([]int64, len(h.counts))
-	total := int64(0)
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram's counters. Two
+// snapshots of the same histogram subtract (Sub) into a windowed delta,
+// which is how the SLO engine turns cumulative counters into rolling
+// windows.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds, shared (do not mutate)
+	Counts []int64   // one per bound, plus +Inf
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's counters. Each counter is one atomic
+// load; concurrent Observes may land between loads, so Count can drift
+// from the bucket total by in-flight samples — harmless at window
+// granularity.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
 	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the delta s − prev: the samples observed between the two
+// snapshots. A zero-value prev (fresh window) yields s unchanged.
+// Negative per-bucket deltas (mismatched snapshots) clamp to zero.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		c := s.Counts[i]
+		if i < len(prev.Counts) {
+			c -= prev.Counts[i]
+		}
+		if c < 0 {
+			c = 0
+		}
+		d.Counts[i] = c
+	}
+	if d.Count < 0 {
+		d.Count = 0
+	}
+	return d
+}
+
+// Total sums the bucket counts (the window's sample count).
+func (s HistSnapshot) Total() int64 {
+	t := int64(0)
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Quantile estimates the q-quantile of the snapshot's samples with the
+// same interpolation and edge semantics as Histogram.Quantile.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	total := s.Total()
 	if total == 0 {
 		return 0
 	}
 	target := q * float64(total)
 	cum := int64(0)
-	for i, c := range counts {
+	for i, c := range s.Counts {
 		if float64(cum+c) < target {
 			cum += c
 			continue
 		}
-		if i >= len(h.bounds) {
+		if i >= len(s.Bounds) {
 			break // overflow bucket: clamp below
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = s.Bounds[i-1]
 		}
-		hi := h.bounds[i]
+		hi := s.Bounds[i]
 		if c == 0 {
 			return hi
 		}
 		frac := (target - float64(cum)) / float64(c)
 		return lo + (hi-lo)*frac
 	}
-	return h.bounds[len(h.bounds)-1]
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// FractionAbove estimates the fraction of the snapshot's samples that
+// exceed x, linearly interpolating within the bucket x falls in. Samples
+// in the overflow bucket always count as above any finite x. With no
+// samples it returns 0.
+func (s HistSnapshot) FractionAbove(x float64) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	above := int64(0)
+	var part float64
+	for i, c := range s.Counts {
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			above += c // overflow bucket: above any finite threshold
+			continue
+		}
+		hi := s.Bounds[i]
+		switch {
+		case x < lo:
+			above += c
+		case x >= hi:
+			// entirely at or below
+		default:
+			part += float64(c) * (hi - x) / (hi - lo)
+		}
+	}
+	return (float64(above) + part) / float64(total)
 }
 
 // metric is one registered series.
@@ -160,9 +266,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // Histogram registers (or returns the existing) histogram `name` with
 // the given upper bounds (sorted ascending).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	h := &Histogram{bounds: append([]float64(nil), bounds...)}
-	h.counts = make([]atomic.Int64, len(h.bounds)+1)
-	m := r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	m := r.register(&metric{name: name, help: help, typ: "histogram", hist: NewHistogram(bounds)})
 	return m.hist
 }
 

@@ -78,6 +78,9 @@ func apiError(err error, fallback api.ErrorCode) *api.Error {
 //	POST /v1/cluster/join         co-host a play (daemon-to-daemon)
 //	POST /v1/cluster/start        run co-hosted players to termination
 //	POST /v1/cluster/plan         dry-run the placement scheduler
+//	GET  /v1/traces               search retained traces; ?fleet=1 fans
+//	                              out to gossiped peers
+//	GET  /v1/slo                  burn-rate state of the SLO objectives
 //	GET  /v1/stats                farm-wide aggregate statistics
 //
 // plus unversioned infrastructure (GET /metrics Prometheus exposition,
@@ -109,6 +112,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/finish", s.idempotent(s.handleClusterFinish))
 	mux.HandleFunc("POST "+api.Prefix+"/cluster/plan", s.idempotent(s.handleClusterPlan))
 	mux.HandleFunc("GET "+api.Prefix+"/cluster/fleet", s.handleFleet)
+	mux.HandleFunc("GET "+api.Prefix+"/traces", s.handleTraces)
+	mux.HandleFunc("GET "+api.Prefix+"/slo", s.handleSLO)
 	mux.HandleFunc("GET "+api.Prefix+"/stats", s.handleStats)
 
 	// The fault-injection hook: mounted only when chaos is explicitly
@@ -275,25 +280,33 @@ func (s *Service) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSessionTrace answers GET /v1/sessions/{id}/trace: the terminal
-// play's stitched trace alone. Pre-terminal sessions and plays traced
-// with tracing disabled answer not_found — the trace exists only once
-// the play finished.
+// play's stitched trace alone. The lookup chain spans the tiers a trace
+// can live in — the hot session object, then the retention ring (which
+// survives hot-cache eviction and restarts), then legacy session
+// records that still embed their trace. Pre-terminal sessions and plays
+// traced with tracing disabled answer not_found — the trace exists only
+// once the play finished.
 func (s *Service) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var view View
 	if sess, ok := s.Session(id); ok {
-		view = sess.Snapshot()
-	} else if v, ok := s.Lookup(id); ok {
-		view = v
-	} else {
-		writeAPIError(w, api.Errorf(api.CodeNotFound, "no such session %s", id))
+		if tv := sess.Snapshot().Trace; tv != nil {
+			writeJSON(w, http.StatusOK, tv)
+			return
+		}
+	}
+	if tv, ok := s.traces.Trace(id); ok {
+		writeJSON(w, http.StatusOK, tv)
 		return
 	}
-	if view.Trace == nil {
+	if v, ok := s.Lookup(id); ok {
+		if v.Trace != nil {
+			writeJSON(w, http.StatusOK, v.Trace)
+			return
+		}
 		writeAPIError(w, api.Errorf(api.CodeNotFound, "session %s has no trace (not terminal, or tracing disabled)", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, view.Trace)
+	writeAPIError(w, api.Errorf(api.CodeNotFound, "no such session %s", id))
 }
 
 // handleTypesSubmit answers POST /v1/sessions/{id}/types.

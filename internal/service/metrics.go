@@ -118,6 +118,28 @@ func (s *Service) writeMetrics(w http.ResponseWriter, sv StatsView) {
 		}
 	}
 
+	// SLO burn rates: one labeled series pair per objective (the obs
+	// registry is label-free, so these render by hand like the fleet
+	// series), plus the firing latch as a 0/1 gauge.
+	if sloView, ok := s.SLOView(); ok && len(sloView.Objectives) > 0 {
+		fmt.Fprintf(&sb, "# HELP mediatord_slo_burn_ratio Short-window burn rate per SLO objective (1.0 = spending the error budget exactly).\n# TYPE mediatord_slo_burn_ratio gauge\n")
+		for _, o := range sloView.Objectives {
+			fmt.Fprintf(&sb, "mediatord_slo_burn_ratio{objective=%q} %s\n", o.Objective, fmtFloat(o.ShortBurn))
+		}
+		fmt.Fprintf(&sb, "# HELP mediatord_slo_burn_ratio_long Long-window burn rate per SLO objective.\n# TYPE mediatord_slo_burn_ratio_long gauge\n")
+		for _, o := range sloView.Objectives {
+			fmt.Fprintf(&sb, "mediatord_slo_burn_ratio_long{objective=%q} %s\n", o.Objective, fmtFloat(o.LongBurn))
+		}
+		fmt.Fprintf(&sb, "# HELP mediatord_slo_firing Whether alert.slo_burn is active per objective (1 firing, 0 clear).\n# TYPE mediatord_slo_firing gauge\n")
+		for _, o := range sloView.Objectives {
+			firing := 0
+			if o.Firing {
+				firing = 1
+			}
+			fmt.Fprintf(&sb, "mediatord_slo_firing{objective=%q} %d\n", o.Objective, firing)
+		}
+	}
+
 	// Build identity: constant-1 gauge whose labels say what binary this
 	// is — the series fleet-rollout dashboards join everything else on.
 	goVersion, revision := buildIdentity()

@@ -35,6 +35,7 @@ import (
 	"asyncmediator/internal/sched"
 	"asyncmediator/internal/sim"
 	"asyncmediator/internal/store"
+	"asyncmediator/internal/telemetry"
 	"asyncmediator/internal/wire"
 )
 
@@ -130,6 +131,24 @@ type Config struct {
 	// FleetSecret, when set, HMAC-signs every gossiped digest; digests
 	// failing verification are discarded.
 	FleetSecret string
+	// TraceRetention bounds the retained-trace ring by record count:
+	// every finished play's compacted trace is kept (and persisted, with
+	// a DataDir) for GET /v1/traces and the trace endpoint, oldest
+	// evicted first. 0 means the default (4096); negative disables
+	// retention entirely (traces revert to living only inside session
+	// records).
+	TraceRetention int
+	// TraceRetentionBytes bounds the ring by encoded size (0: default
+	// 64 MiB; negative: unbounded).
+	TraceRetentionBytes int64
+	// SLOObjectives arms the burn-rate engine: each entry is
+	// "<kind>:<selector>:p<quantile>:<threshold>", e.g.
+	// "phase:rbc:p99:250ms" or "variant:4.1:p95:1s". Empty disables the
+	// engine (GET /v1/slo answers 404).
+	SLOObjectives []string
+	// SLOInterval is the burn-rate evaluation tick (default 5s); the
+	// short and long windows are 2 and 12 ticks.
+	SLOInterval time.Duration
 }
 
 func (c *Config) normalize() {
@@ -147,6 +166,9 @@ func (c *Config) normalize() {
 	}
 	if c.JoinTimeout == 0 {
 		c.JoinTimeout = 30 * time.Second
+	}
+	if c.SLOInterval == 0 {
+		c.SLOInterval = 5 * time.Second
 	}
 }
 
@@ -221,6 +243,13 @@ type Service struct {
 	// fleet is the gossip-mesh runtime (nil without FleetListen).
 	fleet *fleetState
 
+	// traces is the durable retained-trace ring (nil when retention is
+	// disabled); slo the burn-rate engine (nil without objectives), with
+	// sloWG waiting out its ticker goroutine on Close.
+	traces *telemetry.Retention
+	slo    *telemetry.SLOEngine
+	sloWG  sync.WaitGroup
+
 	// idem caches POST responses by Idempotency-Key so clients can retry
 	// creates over transport failures.
 	idem *idemCache
@@ -276,9 +305,9 @@ func New(cfg Config) (*Service, error) {
 	s.engine = sim.EngineOn(s.pool)
 	s.obsReg = obs.NewRegistry()
 	s.registerObsMetrics()
-	// The fleet plane joins last: its health source reads the pool and
-	// registry built above, and a bad fleet config must unwind them.
-	if err := s.startFleet(); err != nil {
+	fail := func(err error) (*Service, error) {
+		s.beginShutdown()
+		s.sloWG.Wait()
 		s.pool.Close()
 		if st != nil {
 			_ = st.Close()
@@ -286,6 +315,17 @@ func New(cfg Config) (*Service, error) {
 		s.bus.Close()
 		s.sink.Close()
 		return nil, err
+	}
+	// The telemetry plane (trace retention + SLO engine) boots before the
+	// fleet: retained traces replay from the store alongside sessions, and
+	// the SLO alerts ride the same bus the fleet rules use.
+	if err := s.startTelemetry(); err != nil {
+		return fail(err)
+	}
+	// The fleet plane joins last: its health source reads the pool and
+	// registry built above, and a bad fleet config must unwind them.
+	if err := s.startFleet(); err != nil {
+		return fail(err)
 	}
 	// Recovery replayed and the pool accepts submits: the readiness gate
 	// opens only now, so a handler mounted on a half-built farm reports
@@ -458,13 +498,23 @@ func (s *Service) exec(worker int, sess *Session) {
 	// Fold the play's phase spans into the rolling latency histogram
 	// whose p99 rides the fleet gossip (one walk per terminal session).
 	s.observePhases(view.Trace)
-	if serr := s.reg.Spill(view); serr != nil {
+	// Feed the SLO objectives and retain the compacted trace on the
+	// telemetry ring. With retention on, the session record spills lean
+	// (trace stripped): the ring is the trace's durable home, so the
+	// session tier stops duplicating span data it never queries.
+	s.observeSLO(view)
+	s.retainTrace(view)
+	lean := view
+	if s.traces != nil {
+		lean.Trace = nil
+	}
+	if serr := s.reg.Spill(lean); serr != nil {
 		// The session stays in memory (never evicted un-persisted); count
 		// the failure so /stats surfaces a sick disk.
 		s.persistErrs.Add(1)
 	}
-	// The terminal event carries the snapshot, so a subscriber needs no
-	// follow-up GET.
+	// The terminal event carries the full snapshot (trace included), so a
+	// subscriber needs no follow-up GET.
 	s.publish(kindSession, view.ID, view.State, view)
 
 	rec := Record{
@@ -534,6 +584,9 @@ func (s *Service) Stats() StatsView {
 // collector exits.
 func (s *Service) Close() {
 	s.beginShutdown()
+	// The SLO ticker parks on stopc; wait it out before the bus (its
+	// alert sink) closes.
+	s.sloWG.Wait()
 	// The fleet mesh stops first: its tick goroutine samples the pool
 	// and registry, which are about to drain.
 	if s.fleet != nil && s.fleet.mesh != nil {

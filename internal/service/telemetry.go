@@ -1,0 +1,336 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"asyncmediator/api"
+	"asyncmediator/internal/telemetry"
+	"asyncmediator/pkg/client"
+)
+
+// This file wires the durable telemetry plane (internal/telemetry) into
+// the farm: every terminal play's compacted trace is retained on a
+// bounded ring that shares the session store (so GET /v1/sessions/{id}/
+// trace survives hot-cache eviction and restarts), GET /v1/traces
+// searches the ring — locally or fleet-wide via the gossiped peer URLs —
+// and the SLO engine turns the same trace stream into multi-window
+// burn-rate alerts on the fleet alert bus.
+
+// sloBurnRule is the fleet-alert rule name SLO transitions publish
+// under: states "alert.slo_burn" / "clear.slo_burn", kind "fleet".
+const sloBurnRule = "slo_burn"
+
+// startTelemetry opens the retained-trace ring (replaying "tr-" records
+// from the store) and arms the SLO engine. Called from New before the
+// fleet plane; a bad objective spec fails boot.
+func (s *Service) startTelemetry() error {
+	if s.cfg.TraceRetention >= 0 {
+		tr, err := telemetry.OpenRetention(telemetry.RetentionConfig{
+			Store:      s.st,
+			MaxRecords: s.cfg.TraceRetention,
+			MaxBytes:   s.cfg.TraceRetentionBytes,
+		})
+		if err != nil {
+			return err
+		}
+		s.traces = tr
+		s.obsReg.GaugeFunc("mediatord_traces_retained",
+			"Finished-play traces held on the retention ring.",
+			func() float64 { n, _, _ := s.traces.Stats(); return float64(n) })
+		s.obsReg.GaugeFunc("mediatord_traces_retained_bytes",
+			"Encoded size of the retained-trace ring.",
+			func() float64 { _, b, _ := s.traces.Stats(); return float64(b) })
+		s.obsReg.CounterFunc("mediatord_traces_evicted_total",
+			"Traces evicted from the retention ring (count or byte bound).",
+			func() float64 { _, _, e := s.traces.Stats(); return float64(e) })
+	}
+	objs, err := telemetry.ParseObjectives(s.cfg.SLOObjectives)
+	if err != nil {
+		return err
+	}
+	s.slo = telemetry.NewSLOEngine(telemetry.SLOConfig{
+		Objectives: objs,
+		OnAlert:    s.publishSLOAlert,
+	})
+	if s.slo != nil {
+		s.sloWG.Add(1)
+		go s.sloLoop()
+	}
+	return nil
+}
+
+// sloLoop drives the burn-rate windows, one tick per SLOInterval, until
+// shutdown begins.
+func (s *Service) sloLoop() {
+	defer s.sloWG.Done()
+	t := time.NewTicker(s.cfg.SLOInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.slo.Tick()
+		}
+	}
+}
+
+// observeSLO feeds one terminal play into the objectives: its
+// end-to-end latency (and failure flag) to the variant objectives, each
+// protocol-phase span to the phase objectives. The exemplar carried on
+// a breaching sample is the play's retained trace.
+func (s *Service) observeSLO(view View) {
+	if s.slo == nil {
+		return
+	}
+	traceID := ""
+	if view.Trace != nil {
+		traceID = view.Trace.TraceID
+	}
+	dur := time.Duration(view.DurationSeconds * float64(time.Second))
+	s.slo.Observe(telemetry.KindVariant, view.Variant, dur, view.State == StateFailed, view.ID, traceID)
+	if view.Trace == nil {
+		return
+	}
+	for _, sp := range view.Trace.Spans {
+		switch sp.Name {
+		case "run", "sched":
+			continue // stages, not protocol phases
+		}
+		if d := sp.EndUS - sp.StartUS; d > 0 {
+			s.slo.Observe(telemetry.KindPhase, sp.Name, time.Duration(d)*time.Microsecond, false, view.ID, traceID)
+		}
+	}
+}
+
+// retainTrace adds a terminal play's compacted trace to the ring. A
+// failed store write counts as a persist error, like a failed spill.
+func (s *Service) retainTrace(view View) {
+	if s.traces == nil || view.Trace == nil {
+		return
+	}
+	sum := api.TraceSummary{
+		Session:        view.ID,
+		TraceID:        view.Trace.TraceID,
+		Variant:        view.Variant,
+		State:          string(view.State),
+		DurationMS:     view.DurationSeconds * 1000,
+		FinishedUnixMS: time.Now().UnixMilli(),
+		PhaseMS:        phaseDurations(view.Trace),
+		Spans:          len(view.Trace.Spans),
+	}
+	if err := s.traces.Add(sum, view.Trace); err != nil {
+		s.persistErrs.Add(1)
+	}
+}
+
+// phaseDurations folds a trace's protocol-phase spans into per-phase
+// millisecond totals — the searchable digest GET /v1/traces filters on.
+func phaseDurations(tv *api.TraceView) map[string]float64 {
+	var out map[string]float64
+	for _, sp := range tv.Spans {
+		switch sp.Name {
+		case "run", "sched":
+			continue
+		}
+		if d := sp.EndUS - sp.StartUS; d > 0 {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[sp.Name] += float64(d) / 1000
+		}
+	}
+	return out
+}
+
+// publishSLOAlert republishes one burn-rate edge on the event bus the
+// fleet rules use: kind "fleet", state "alert.slo_burn" /
+// "clear.slo_burn", id = the objective spec, with the exemplar trace
+// riding the payload. Works with or without a fleet plane; with one,
+// the transition also counts into the per-rule alert tallies.
+func (s *Service) publishSLOAlert(a telemetry.SLOAlert) {
+	if s.fleet != nil && !a.Cleared {
+		s.fleet.mu.Lock()
+		s.fleet.alertCounts[sloBurnRule]++
+		s.fleet.mu.Unlock()
+	}
+	state := "alert." + sloBurnRule
+	if a.Cleared {
+		state = "clear." + sloBurnRule
+	}
+	s.publish(api.KindFleet, a.Objective, State(state), api.FleetAlert{
+		Rule:    sloBurnRule,
+		Index:   -1,
+		Message: a.Message,
+		Value:   a.ShortBurn,
+		TraceID: a.ExemplarTrace,
+		Session: a.ExemplarSession,
+		Cleared: a.Cleared,
+	})
+}
+
+// SLOView renders the engine's rolling state; ok is false when no
+// objectives are configured.
+func (s *Service) SLOView() (api.SLOView, bool) {
+	if s.slo == nil {
+		return api.SLOView{}, false
+	}
+	short, long := s.slo.Windows()
+	return api.SLOView{
+		IntervalMS:  s.cfg.SLOInterval.Milliseconds(),
+		ShortWindow: short,
+		LongWindow:  long,
+		Objectives:  s.slo.Status(),
+	}, true
+}
+
+// handleSLO answers GET /v1/slo. A daemon without objectives answers
+// not_found — the resource does not exist here, like /cluster/fleet on
+// a fleet-less daemon.
+func (s *Service) handleSLO(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.SLOView()
+	if !ok {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "no SLO objectives configured on this daemon (-slo)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleTraces answers GET /v1/traces: search the retained-trace ring
+// by variant, phase, latency floor, and finish time, newest first with
+// cursor pagination. ?fleet=1 fans the same query out to every healthy
+// gossiped peer and merges the pages, peer-attributed.
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeAPIError(w, api.Errorf(api.CodeNotFound, "trace retention is disabled on this daemon (-trace-retention -1)"))
+		return
+	}
+	f, e := parseTraceFilter(r)
+	if e != nil {
+		writeAPIError(w, e)
+		return
+	}
+	if fleetRaw := r.URL.Query().Get("fleet"); fleetRaw != "" && fleetRaw != "0" && fleetRaw != "false" {
+		writeJSON(w, http.StatusOK, s.fleetTraces(r.Context(), f))
+		return
+	}
+	page, total, next := s.traces.Query(f)
+	if page == nil {
+		page = []api.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, api.TracePage{Traces: page, Total: total, NextCursor: next})
+}
+
+// parseTraceFilter decodes the /v1/traces query parameters.
+func parseTraceFilter(r *http.Request) (telemetry.Filter, *api.Error) {
+	f := telemetry.Filter{
+		Variant: r.URL.Query().Get("variant"),
+		Phase:   r.URL.Query().Get("phase"),
+	}
+	if raw := r.URL.Query().Get("min_ms"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			return f, api.Errorf(api.CodeInvalidArgument, "bad min_ms=%q (want a non-negative number)", raw).WithDetail("param", "min_ms")
+		}
+		f.MinMS = v
+	}
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return f, api.Errorf(api.CodeInvalidArgument, "bad since=%q (want unix milliseconds)", raw).WithDetail("param", "since")
+		}
+		f.Since = v
+	}
+	if raw := r.URL.Query().Get("cursor"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			return f, api.Errorf(api.CodeInvalidArgument, "bad cursor=%q (want a previous page's next_cursor)", raw).WithDetail("param", "cursor")
+		}
+		f.Cursor = v
+	}
+	limit, e := queryBoundedInt(r, "limit", api.DefaultPageLimit, 1)
+	if e != nil {
+		return f, e
+	}
+	if limit > api.MaxPageLimit {
+		limit = api.MaxPageLimit
+	}
+	f.Limit = limit
+	return f, nil
+}
+
+// fleetTraces merges this daemon's page with every healthy peer's: the
+// same filter fans out over the gossiped advertise URLs through the
+// typed SDK, results come back peer-attributed, and unreachable daemons
+// degrade to an Errors entry rather than failing the query. Fleet pages
+// do not paginate (no cross-daemon cursor); narrow the filter instead.
+func (s *Service) fleetTraces(ctx context.Context, f telemetry.Filter) api.TracePage {
+	local, total, _ := s.traces.Query(f)
+	out := api.TracePage{Traces: local, Total: total, Daemons: 1}
+	fv, ok := s.FleetView()
+	if !ok {
+		return out
+	}
+	var targets []string
+	for _, p := range fv.Peers {
+		if p.Self || p.Addr == "" || p.State != api.FleetPeerHealthy {
+			continue
+		}
+		targets = append(targets, p.Addr)
+	}
+	type peerResult struct {
+		addr string
+		page api.TracePage
+		err  error
+	}
+	results := make([]peerResult, len(targets))
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, addr := range targets {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i] = peerResult{addr: addr}
+			cl, err := client.New(addr, client.WithRetries(0))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].page, results[i].err = cl.Traces(ctx, client.TracesOptions{
+				Variant: f.Variant, Phase: f.Phase, MinMS: f.MinMS,
+				Since: f.Since, Limit: f.Limit,
+			})
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			out.Errors = append(out.Errors, fmt.Sprintf("%s: %v", r.addr, r.err))
+			continue
+		}
+		out.Daemons++
+		out.Total += r.page.Total
+		for _, t := range r.page.Traces {
+			t.Daemon = r.addr
+			out.Traces = append(out.Traces, t)
+		}
+	}
+	sort.SliceStable(out.Traces, func(i, j int) bool {
+		return out.Traces[i].FinishedUnixMS > out.Traces[j].FinishedUnixMS
+	})
+	if f.Limit > 0 && len(out.Traces) > f.Limit {
+		out.Traces = out.Traces[:f.Limit]
+	}
+	if out.Traces == nil {
+		out.Traces = []api.TraceSummary{}
+	}
+	sort.Strings(out.Errors)
+	return out
+}

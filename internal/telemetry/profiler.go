@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"asyncmediator/api"
+)
+
+// Profiler captures periodic CPU and heap pprof profiles onto a
+// bounded on-disk ring, so a latency regression spotted in retained
+// traces has a profile from the same window to explain it. Off by
+// default; the daemon arms it with -profile-interval.
+type Profiler struct {
+	cfg  ProfilerConfig
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ProfilerConfig parameterizes the capture loop.
+type ProfilerConfig struct {
+	// Dir is the ring directory (created if missing).
+	Dir string
+	// Interval is the capture period.
+	Interval time.Duration
+	// CPUDuration is how long each CPU capture samples (default
+	// min(Interval/2, 10s)).
+	CPUDuration time.Duration
+	// MaxFiles bounds the ring: oldest captures beyond this many files
+	// are deleted after each round (default 32).
+	MaxFiles int
+	// Logf, when set, receives capture errors (the loop never stops on
+	// one).
+	Logf func(format string, args ...any)
+}
+
+// StartProfiler creates the ring directory and starts the capture
+// loop.
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("telemetry: profiler needs a positive interval")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("telemetry: profiler needs a directory")
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = cfg.Interval / 2
+		if cfg.CPUDuration > 10*time.Second {
+			cfg.CPUDuration = 10 * time.Second
+		}
+	}
+	if cfg.MaxFiles <= 0 {
+		cfg.MaxFiles = 32
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile dir: %w", err)
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p, nil
+}
+
+// Stop halts the loop, interrupting an in-flight CPU capture.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Profiler) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.captureOnce()
+			p.prune()
+		}
+	}
+}
+
+// captureOnce writes one cpu-<stamp>.pprof (sampled over CPUDuration)
+// and one heap-<stamp>.pprof.
+func (p *Profiler) captureOnce() {
+	stamp := time.Now().UnixMilli()
+	cpuPath := filepath.Join(p.cfg.Dir, fmt.Sprintf("cpu-%013d.pprof", stamp))
+	if f, err := os.Create(cpuPath); err != nil {
+		p.logf("telemetry: cpu profile: %v", err)
+	} else if err := pprof.StartCPUProfile(f); err != nil {
+		// Another CPU profile is already running (e.g. an operator's
+		// interactive /debug/pprof/profile) — skip this round.
+		f.Close()
+		os.Remove(cpuPath)
+		p.logf("telemetry: cpu profile: %v", err)
+	} else {
+		select {
+		case <-time.After(p.cfg.CPUDuration):
+		case <-p.stop:
+		}
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			p.logf("telemetry: cpu profile: %v", err)
+		}
+	}
+
+	heapPath := filepath.Join(p.cfg.Dir, fmt.Sprintf("heap-%013d.pprof", stamp))
+	f, err := os.Create(heapPath)
+	if err != nil {
+		p.logf("telemetry: heap profile: %v", err)
+		return
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		p.logf("telemetry: heap profile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		p.logf("telemetry: heap profile: %v", err)
+	}
+}
+
+// prune enforces the file-count bound, oldest first (names embed the
+// capture stamp, so lexicographic order per kind is capture order; we
+// bound the union sorted by stamp).
+func (p *Profiler) prune() {
+	infos := p.list()
+	if len(infos) <= p.cfg.MaxFiles {
+		return
+	}
+	// list is newest-first; delete the tail.
+	for _, pi := range infos[p.cfg.MaxFiles:] {
+		_ = os.Remove(filepath.Join(p.cfg.Dir, pi.Name))
+	}
+}
+
+func (p *Profiler) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// list reads the ring directory, newest first.
+func (p *Profiler) list() []api.ProfileInfo {
+	ents, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var out []api.ProfileInfo
+	for _, e := range ents {
+		name := e.Name()
+		kind, stamp, ok := parseProfileName(name)
+		if !ok || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, api.ProfileInfo{
+			Name: name, Kind: kind, SizeBytes: info.Size(), CreatedUnixMS: stamp,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedUnixMS != out[j].CreatedUnixMS {
+			return out[i].CreatedUnixMS > out[j].CreatedUnixMS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// parseProfileName decodes "cpu-<ms>.pprof" / "heap-<ms>.pprof".
+func parseProfileName(name string) (kind string, stamp int64, ok bool) {
+	base, found := strings.CutSuffix(name, ".pprof")
+	if !found {
+		return "", 0, false
+	}
+	kind, rest, found := strings.Cut(base, "-")
+	if !found || (kind != "cpu" && kind != "heap") {
+		return "", 0, false
+	}
+	var n int64
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return "", 0, false
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return kind, n, true
+}
+
+// Handler serves the ring on the private pprof listener: GET /profiles
+// lists captures as JSON, GET /profiles/{name} downloads one.
+func (p *Profiler) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /profiles", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.ProfileList{
+			Dir:        p.cfg.Dir,
+			IntervalMS: p.cfg.Interval.Milliseconds(),
+			Profiles:   p.list(),
+		})
+	})
+	mux.HandleFunc("GET /profiles/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if _, _, ok := parseProfileName(name); !ok {
+			http.Error(w, "no such profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		http.ServeFile(w, r, filepath.Join(p.cfg.Dir, name))
+	})
+	return mux
+}

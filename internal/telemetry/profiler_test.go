@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"asyncmediator/api"
+)
+
+// TestProfilerCapturesAndServes spins a fast capture loop, then lists
+// and fetches through the handler the pprof mux mounts.
+func TestProfilerCapturesAndServes(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfilerConfig{
+		Dir:         dir,
+		Interval:    30 * time.Millisecond,
+		CPUDuration: 10 * time.Millisecond,
+		MaxFiles:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(p.list()) < 6 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	p.Stop()
+	infos := p.list()
+	if len(infos) == 0 {
+		t.Fatal("no profiles captured")
+	}
+	if len(infos) > 4+2 { // one in-flight round may exceed the cap pre-prune
+		t.Fatalf("ring not pruned: %d files", len(infos))
+	}
+	kinds := map[string]bool{}
+	for _, pi := range infos {
+		kinds[pi.Kind] = true
+		if pi.SizeBytes <= 0 || pi.CreatedUnixMS <= 0 {
+			t.Fatalf("bad info %+v", pi)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("kinds captured: %v", kinds)
+	}
+
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list api.ProfileList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Dir != dir || len(list.Profiles) != len(infos) {
+		t.Fatalf("list %+v", list)
+	}
+	// Fetch one capture; traversal names are rejected.
+	got, err := ts.Client().Get(ts.URL + "/profiles/" + list.Profiles[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Body.Close()
+	if got.StatusCode != 200 {
+		t.Fatalf("fetch status %d", got.StatusCode)
+	}
+	// A name outside the ring's naming scheme 404s even if the file
+	// exists next to the ring.
+	if err := os.WriteFile(filepath.Join(dir, "secret.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := ts.Client().Get(ts.URL + "/profiles/secret.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != 404 {
+		t.Fatalf("non-ring name served: %d", bad.StatusCode)
+	}
+}

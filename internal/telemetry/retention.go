@@ -1,0 +1,298 @@
+// Package telemetry is the farm's durable telemetry plane: bounded
+// retention of finished plays' traces (queryable after hot-cache
+// eviction and daemon restarts), rolling multi-window SLO burn-rate
+// objectives over the trace stream, and a continuous profiler writing
+// periodic pprof captures to an on-disk ring.
+//
+// The package is deliberately passive — it owns no goroutines except
+// the profiler's capture loop. The service feeds it terminal traces,
+// drives the SLO engine from its own ticker, and surfaces queries over
+// the /v1 API; retention durability rides the service's embedded store
+// under its own "tr-" key prefix.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"asyncmediator/api"
+	"asyncmediator/internal/store"
+)
+
+// traceKeyPrefix namespaces retained-trace records in the shared store
+// (sessions are "s-", experiment jobs "x-", idempotency "idem-").
+const traceKeyPrefix = "tr-"
+
+// traceRecVersion is the version byte prefixed to every persisted trace
+// record, mirroring the service's view-record scheme: a record whose
+// version this binary does not know is skipped, not misread.
+const traceRecVersion = 1
+
+// traceKey renders a retention sequence number as its store key.
+// Zero-padding keeps lexicographic order equal to retention order.
+func traceKey(seq int64) string { return fmt.Sprintf("%s%08d", traceKeyPrefix, seq) }
+
+// parseTraceKey inverts traceKey.
+func parseTraceKey(key string) (int64, bool) {
+	if !strings.HasPrefix(key, traceKeyPrefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(key, traceKeyPrefix), 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Record is one retained trace: the searchable summary plus the full
+// compacted span view. Seq is assigned by Add in finish order — the
+// ring's age axis.
+type Record struct {
+	Seq     int64            `json:"seq"`
+	Summary api.TraceSummary `json:"summary"`
+	Trace   *api.TraceView   `json:"trace,omitempty"`
+}
+
+// Filter selects retained traces in Query. Zero fields match everything.
+type Filter struct {
+	// Variant matches the play's theorem variant exactly.
+	Variant string
+	// Phase keeps only traces that spent time in the named phase.
+	Phase string
+	// MinMS keeps traces at or above this duration — the named phase's
+	// duration when Phase is set, end-to-end otherwise.
+	MinMS float64
+	// Since keeps traces finished at or after this unix-millisecond
+	// instant.
+	Since int64
+	// Cursor, when nonzero, resumes pagination: only records with
+	// Seq < Cursor (older than the previous page's tail) are returned.
+	Cursor int64
+	// Limit caps the page (0 = the retention default of 50).
+	Limit int
+}
+
+// RetentionConfig parameterizes the trace ring.
+type RetentionConfig struct {
+	// Store, when non-nil, mirrors every retained record to disk under
+	// the "tr-" prefix so the ring survives restarts. A nil store keeps
+	// the ring in memory only.
+	Store *store.Store
+	// MaxRecords bounds the ring by count (default 4096; negative
+	// disables retention entirely).
+	MaxRecords int
+	// MaxBytes bounds the ring by encoded size (default 64 MiB; 0 keeps
+	// the default, negative means unbounded).
+	MaxBytes int64
+}
+
+// Retention is the bounded trace ring. All exported methods are safe
+// for concurrent use.
+type Retention struct {
+	st         *store.Store
+	maxRecords int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	recs    []*Record        // ascending Seq (finish order)
+	sizes   map[int64]int64  // Seq -> encoded bytes
+	bySess  map[string]int64 // session id -> Seq (latest wins)
+	bytes   int64
+	nextSeq int64
+	evicted int64
+}
+
+// OpenRetention builds the ring, replaying any "tr-" records the store
+// holds from earlier runs (and re-enforcing the bounds against them).
+// Records that fail to decode are dropped from the store rather than
+// wedging boot.
+func OpenRetention(cfg RetentionConfig) (*Retention, error) {
+	r := &Retention{
+		st:         cfg.Store,
+		maxRecords: cfg.MaxRecords,
+		maxBytes:   cfg.MaxBytes,
+		sizes:      make(map[int64]int64),
+		bySess:     make(map[string]int64),
+		nextSeq:    1,
+	}
+	if r.maxRecords == 0 {
+		r.maxRecords = 4096
+	}
+	if r.maxBytes == 0 {
+		r.maxBytes = 64 << 20
+	}
+	if r.st == nil {
+		return r, nil
+	}
+	var bad []string
+	err := r.st.Scan(traceKeyPrefix, func(key string, data []byte) error {
+		seq, ok := parseTraceKey(key)
+		if !ok {
+			bad = append(bad, key)
+			return nil
+		}
+		var rec Record
+		if len(data) < 1 || data[0] != traceRecVersion || json.Unmarshal(data[1:], &rec) != nil {
+			bad = append(bad, key)
+			return nil
+		}
+		rec.Seq = seq
+		r.recs = append(r.recs, &rec)
+		r.sizes[seq] = int64(len(data))
+		r.bytes += int64(len(data))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: trace retention recovery: %w", err)
+	}
+	for _, key := range bad {
+		_ = r.st.Delete(key)
+	}
+	sort.Slice(r.recs, func(i, j int) bool { return r.recs[i].Seq < r.recs[j].Seq })
+	for _, rec := range r.recs {
+		r.bySess[rec.Summary.Session] = rec.Seq
+		if rec.Seq >= r.nextSeq {
+			r.nextSeq = rec.Seq + 1
+		}
+	}
+	r.mu.Lock()
+	r.enforceLocked()
+	r.mu.Unlock()
+	return r, nil
+}
+
+// Add retains one finished play's trace, evicting the oldest records
+// if the ring overflows its count or byte bound.
+func (r *Retention) Add(summary api.TraceSummary, trace *api.TraceView) error {
+	if r == nil || r.maxRecords < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	rec := &Record{Seq: r.nextSeq, Summary: summary, Trace: trace}
+	r.nextSeq++
+	data, err := json.Marshal(rec)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	data = append([]byte{traceRecVersion}, data...)
+	r.recs = append(r.recs, rec)
+	r.sizes[rec.Seq] = int64(len(data))
+	r.bytes += int64(len(data))
+	r.bySess[summary.Session] = rec.Seq
+	r.enforceLocked()
+	_, still := r.sizes[rec.Seq] // a tiny byte bound can self-evict
+	st := r.st
+	r.mu.Unlock()
+	if st != nil && still {
+		return st.Put(traceKey(rec.Seq), data)
+	}
+	return nil
+}
+
+// enforceLocked evicts oldest-first until the ring fits both bounds.
+func (r *Retention) enforceLocked() {
+	for len(r.recs) > 0 &&
+		((r.maxRecords > 0 && len(r.recs) > r.maxRecords) ||
+			(r.maxBytes > 0 && r.bytes > r.maxBytes)) {
+		old := r.recs[0]
+		r.recs = r.recs[1:]
+		r.bytes -= r.sizes[old.Seq]
+		delete(r.sizes, old.Seq)
+		if r.bySess[old.Summary.Session] == old.Seq {
+			delete(r.bySess, old.Summary.Session)
+		}
+		r.evicted++
+		if r.st != nil {
+			_ = r.st.Delete(traceKey(old.Seq))
+		}
+	}
+}
+
+// Trace returns the retained full trace for a session id.
+func (r *Retention) Trace(session string) (*api.TraceView, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq, ok := r.bySess[session]
+	if !ok {
+		return nil, false
+	}
+	i := sort.Search(len(r.recs), func(i int) bool { return r.recs[i].Seq >= seq })
+	if i < len(r.recs) && r.recs[i].Seq == seq {
+		return r.recs[i].Trace, r.recs[i].Trace != nil
+	}
+	return nil, false
+}
+
+// Query returns the retained summaries matching f, newest first.
+// total counts every match regardless of cursor and limit; nextCursor
+// is nonzero when older matches remain past the returned page.
+func (r *Retention) Query(f Filter) (page []api.TraceSummary, total int, nextCursor int64) {
+	if r == nil {
+		return nil, 0, 0
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastSeq int64
+	for i := len(r.recs) - 1; i >= 0; i-- {
+		rec := r.recs[i]
+		if !matches(rec.Summary, f) {
+			continue
+		}
+		total++
+		if f.Cursor != 0 && rec.Seq >= f.Cursor {
+			continue
+		}
+		if len(page) < limit {
+			page = append(page, rec.Summary)
+			lastSeq = rec.Seq
+		} else if nextCursor == 0 {
+			nextCursor = lastSeq
+		}
+	}
+	return page, total, nextCursor
+}
+
+// matches applies a filter to one summary.
+func matches(s api.TraceSummary, f Filter) bool {
+	if f.Variant != "" && s.Variant != f.Variant {
+		return false
+	}
+	if f.Since != 0 && s.FinishedUnixMS < f.Since {
+		return false
+	}
+	dur := s.DurationMS
+	if f.Phase != "" {
+		ms, ok := s.PhaseMS[f.Phase]
+		if !ok {
+			return false
+		}
+		dur = ms
+	}
+	if f.MinMS > 0 && dur < f.MinMS {
+		return false
+	}
+	return true
+}
+
+// Stats reports the ring's occupancy for metrics: retained records,
+// their encoded bytes, and the lifetime eviction count.
+func (r *Retention) Stats() (records int, bytes int64, evicted int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs), r.bytes, r.evicted
+}
